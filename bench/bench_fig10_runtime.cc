@@ -1,0 +1,55 @@
+// Fig. 10: The optimization quality (total gained affinity) under different
+// runtimes. RASA and POP are anytime (quality vs time-out curves); K8S+ and
+// APPLSCI19 are single points at their natural runtime.
+// Expected shape: RASA's curve dominates POP's everywhere and flattens
+// early (partitioning isolates the high-affinity subproblems).
+
+#include "baselines/baselines.h"
+#include "bench_util.h"
+#include "core/rasa.h"
+
+int main() {
+  using namespace rasa;
+  using namespace rasa::bench;
+
+  PrintHeader("Fig. 10 — gained affinity vs runtime (anytime curves)",
+              "RASA & POP swept over time-outs; K8S+/APPLSCI19 single points");
+
+  const AlgorithmSelector selector = rasa::bench::BenchSelector();
+  const double base = BenchTimeout();
+  const double timeouts[] = {base / 8, base / 4, base / 2, base, 2 * base};
+
+  for (const ClusterSnapshot& snapshot : BenchClusters()) {
+    std::printf("%s:\n", snapshot.name.c_str());
+    std::printf("  %10s %12s %12s\n", "timeout(s)", "RASA", "POP");
+    for (double timeout : timeouts) {
+      RasaOptions options;
+      options.timeout_seconds = timeout;
+      options.compute_migration = false;
+      RasaOptimizer optimizer(options, selector);
+      StatusOr<RasaResult> rasa =
+          optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
+      StatusOr<BaselineResult> pop =
+          RunPop(*snapshot.cluster, snapshot.original_placement,
+                 Deadline::AfterSeconds(timeout), 5);
+      std::printf("  %10.3f %12.4f %12.4f\n", timeout,
+                  rasa.ok() ? rasa->new_gained_affinity : -1.0,
+                  pop.ok() ? pop->gained_affinity : -1.0);
+    }
+    StatusOr<BaselineResult> k8s = RunK8sPlus(
+        *snapshot.cluster, Deadline::AfterSeconds(60.0), 5);
+    StatusOr<BaselineResult> appl =
+        RunApplsci19(*snapshot.cluster, snapshot.original_placement,
+                     Deadline::AfterSeconds(60.0), 5);
+    if (k8s.ok()) {
+      std::printf("  K8S+      point: (%.3fs, %.4f)\n", k8s->seconds,
+                  k8s->gained_affinity);
+    }
+    if (appl.ok()) {
+      std::printf("  APPLSCI19 point: (%.3fs, %.4f)\n", appl->seconds,
+                  appl->gained_affinity);
+    }
+    PrintRule();
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Fig. 12: Comparison of (normalized) request error rate for four critical
+// service pairs in production: WITH RASA vs WITHOUT RASA vs ONLY COLLOCATED.
+// Expected shape: error-rate improvements in the double digits
+// (paper: 13.27% - 64.42%).
+
+#include "bench_prod_util.h"
+
+int main() {
+  using namespace rasa;
+  using namespace rasa::bench;
+
+  PrintHeader("Fig. 12 — normalized request error rate, 4 critical pairs",
+              "series sampled every 4 steps of a 48-step (24h) simulation");
+
+  ProductionSetup setup = MakeProductionSetup();
+  for (const PairProductionSeries& pair : setup.report.pairs) {
+    std::printf(
+        "  pair (%s, %s)  traffic share %.4f  localized: %.0f%% -> %.0f%%\n",
+        setup.snapshot.cluster->service(pair.service_u).name.c_str(),
+        setup.snapshot.cluster->service(pair.service_v).name.c_str(),
+        pair.qps_weight, 100.0 * pair.without_ratio, 100.0 * pair.with_ratio);
+    PrintSeries("WITHOUT RASA", pair.error_without);
+    PrintSeries("WITH RASA", pair.error_with);
+    PrintSeries("ONLY COLLOC.", pair.error_collocated);
+    std::printf("    error-rate improvement: %.2f%%  (paper range: 13.27%% - "
+                "64.42%%)\n",
+                100.0 * pair.error_improvement);
+    PrintRule();
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 7: Under the time-out constraint, the gained affinity and the total
+// affinity of master services under different master ratios, plus the
+// chosen ratio alpha = 45 * ln^0.66(N) / N.
+// Expected shape: master affinity approaches 1.0 quickly; gained affinity
+// rises to a peak then plateaus (small clusters) or dips (large clusters,
+// where the fixed time-out starves the bigger search space).
+
+#include "bench_util.h"
+#include "core/rasa.h"
+
+int main() {
+  using namespace rasa;
+  using namespace rasa::bench;
+
+  PrintHeader("Fig. 7 — gained affinity & master affinity vs master ratio",
+              "sweep of the master-affinity partitioning ratio alpha");
+
+  const AlgorithmSelector selector = rasa::bench::BenchSelector();
+  const double ratios[] = {0.02, 0.05, 0.10, 0.20, 0.35, 0.50, 0.70, 0.90};
+
+  for (const ClusterSnapshot& snapshot : BenchClusters()) {
+    const int n = snapshot.cluster->num_services();
+    const double chosen = MasterRatio(n, 45.0, 0.66);
+    std::printf("%s (N=%d, chosen alpha=%.3f):\n", snapshot.name.c_str(), n,
+                chosen);
+    std::printf("  %8s %16s %16s\n", "alpha", "master affinity",
+                "gained affinity");
+    auto run_at = [&](double alpha) {
+      RasaOptions options;
+      options.timeout_seconds = BenchTimeout();
+      options.partitioning.master_ratio_override = alpha;
+      options.compute_migration = false;
+      RasaOptimizer optimizer(options, selector);
+      StatusOr<RasaResult> result =
+          optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
+      RASA_CHECK(result.ok()) << result.status().ToString();
+      std::printf("  %8.3f %16.4f %16.4f%s\n", alpha,
+                  result->partition_stats.master_affinity,
+                  result->new_gained_affinity,
+                  std::abs(alpha - chosen) < 1e-9 ? "   <- chosen" : "");
+    };
+    for (double alpha : ratios) run_at(alpha);
+    run_at(std::min(1.0, chosen));
+    PrintRule();
+  }
+  return 0;
+}

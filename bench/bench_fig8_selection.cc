@@ -1,0 +1,80 @@
+// Fig. 8: Comparison of the gained affinity of different algorithm
+// selection policies under the time-out: CG / MIP / HEURISTIC / MLP-BASED /
+// GCN-BASED. Expected shape: only GCN-BASED is best-or-tied on every
+// cluster.
+//
+// The learned selectors are trained once on subproblems sampled from four
+// training clusters (T1-T4) labeled by racing both pool algorithms —
+// exactly the §IV-D protocol — and cached next to the binary.
+
+#include "bench_util.h"
+#include "core/rasa.h"
+#include "core/selector_trainer.h"
+
+int main() {
+  using namespace rasa;
+  using namespace rasa::bench;
+
+  PrintHeader("Fig. 8 — gained affinity by algorithm-selection policy",
+              "CG / MIP / HEURISTIC / MLP-BASED / GCN-BASED (ours)");
+
+  SelectorTrainingOptions train;
+  train.num_samples = 120;
+  train.label_timeout_seconds = std::max(0.2, BenchTimeout() / 3.0);
+  train.cluster_scale = 1.5 * BenchScale();
+  std::fprintf(stderr, "training/loading selectors...\n");
+  StatusOr<TrainedSelectors> selectors =
+      GetOrTrainSelectors("rasa_selector_cache", train);
+  RASA_CHECK(selectors.ok()) << selectors.status().ToString();
+
+  struct Policy {
+    const char* name;
+    AlgorithmSelector selector;
+  };
+  std::vector<Policy> policies;
+  policies.push_back({"CG", AlgorithmSelector(SelectorPolicy::kAlwaysCg)});
+  policies.push_back({"MIP", AlgorithmSelector(SelectorPolicy::kAlwaysMip)});
+  policies.push_back(
+      {"HEURISTIC", AlgorithmSelector(SelectorPolicy::kHeuristic)});
+  policies.push_back({"MLP-BASED", AlgorithmSelector(selectors->mlp)});
+  policies.push_back({"GCN-BASED", AlgorithmSelector(selectors->gcn)});
+
+  std::vector<ClusterSnapshot> clusters = BenchClusters();
+  std::printf("%-12s", "Policy");
+  for (const ClusterSnapshot& c : clusters) std::printf(" %8s", c.name.c_str());
+  std::printf("\n");
+  PrintRule();
+  std::vector<std::vector<double>> table(policies.size());
+  for (size_t pi = 0; pi < policies.size(); ++pi) {
+    std::printf("%-12s", policies[pi].name);
+    for (const ClusterSnapshot& snapshot : clusters) {
+      RasaOptions options;
+      options.timeout_seconds = BenchTimeout();
+      options.compute_migration = false;
+      RasaOptimizer optimizer(options, policies[pi].selector);
+      StatusOr<RasaResult> result =
+          optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
+      RASA_CHECK(result.ok()) << result.status().ToString();
+      table[pi].push_back(result->new_gained_affinity);
+      std::printf(" %8.4f", result->new_gained_affinity);
+    }
+    std::printf("\n");
+  }
+  PrintRule();
+  // Count, per policy, on how many clusters it is within 1% of the best.
+  std::printf("clusters where each policy is best-or-near-best (within 1%%):\n");
+  for (size_t pi = 0; pi < policies.size(); ++pi) {
+    int wins = 0;
+    for (size_t ci = 0; ci < clusters.size(); ++ci) {
+      double best = 0.0;
+      for (size_t qi = 0; qi < policies.size(); ++qi) {
+        best = std::max(best, table[qi][ci]);
+      }
+      if (table[pi][ci] >= 0.99 * best) ++wins;
+    }
+    std::printf("  %-12s %d/%zu\n", policies[pi].name, wins, clusters.size());
+  }
+  std::printf("(paper: only GCN-BASED achieves best gained affinity on all "
+              "clusters)\n");
+  return 0;
+}

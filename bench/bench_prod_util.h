@@ -1,0 +1,49 @@
+#ifndef RASA_BENCH_BENCH_PROD_UTIL_H_
+#define RASA_BENCH_BENCH_PROD_UTIL_H_
+
+// Shared setup for the production-deployment figures (Figs. 11-13): builds
+// a cluster, computes the WITH-RASA placement, and runs the request-level
+// production simulator against the WITHOUT-RASA (ORIGINAL) placement.
+
+#include "bench_util.h"
+#include "core/rasa.h"
+#include "sim/production.h"
+
+namespace rasa::bench {
+
+struct ProductionSetup {
+  ClusterSnapshot snapshot;
+  ProductionSimReport report;
+};
+
+inline ProductionSetup MakeProductionSetup() {
+  const AlgorithmSelector selector = BenchSelector();
+  std::vector<ClusterSnapshot> clusters = BenchClusters();
+  ProductionSetup setup{std::move(clusters[0]), {}};  // M1 stands in
+
+  RasaOptions options;
+  options.timeout_seconds = BenchTimeout();
+  options.compute_migration = false;
+  RasaOptimizer optimizer(options, selector);
+  StatusOr<RasaResult> result = optimizer.Optimize(
+      *setup.snapshot.cluster, setup.snapshot.original_placement);
+  RASA_CHECK(result.ok()) << result.status().ToString();
+
+  ProductionSimOptions sim;
+  sim.time_steps = 48;
+  setup.report = SimulateProduction(*setup.snapshot.cluster,
+                                    result->new_placement,
+                                    setup.snapshot.original_placement, sim,
+                                    /*tracked_pairs=*/4);
+  return setup;
+}
+
+inline void PrintSeries(const char* label, const std::vector<double>& xs) {
+  std::printf("    %-16s", label);
+  for (size_t t = 0; t < xs.size(); t += 4) std::printf(" %.3f", xs[t]);
+  std::printf("\n");
+}
+
+}  // namespace rasa::bench
+
+#endif  // RASA_BENCH_BENCH_PROD_UTIL_H_

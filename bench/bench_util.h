@@ -1,0 +1,77 @@
+#ifndef RASA_BENCH_BENCH_UTIL_H_
+#define RASA_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the table/figure reproduction benches. Every bench is
+// a standalone binary that prints the paper-style rows. Environment knobs:
+//   RASA_BENCH_SCALE    cluster downscale divisor (default 16; 1 = paper
+//                       size — only sensible on a large machine)
+//   RASA_BENCH_TIMEOUT  solver time-out in seconds (default 2; stands in
+//                       for the paper's one-minute SLO)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cluster/generator.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/selector_trainer.h"
+
+namespace rasa::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("RASA_BENCH_SCALE");
+  const double v = env != nullptr ? std::atof(env) : 0.0;
+  return v > 0.0 ? v : 16.0;
+}
+
+inline double BenchTimeout() {
+  const char* env = std::getenv("RASA_BENCH_TIMEOUT");
+  const double v = env != nullptr ? std::atof(env) : 0.0;
+  return v > 0.0 ? v : 2.0;
+}
+
+/// Generates the four Table II clusters at the bench scale. Aborts the
+/// bench on generation failure (cannot happen with default settings).
+inline std::vector<ClusterSnapshot> BenchClusters() {
+  std::vector<ClusterSnapshot> out;
+  for (const ClusterSpec& spec : TableTwoSpecs(BenchScale())) {
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+    RASA_CHECK(snapshot.ok()) << snapshot.status().ToString();
+    out.push_back(std::move(snapshot).value());
+  }
+  return out;
+}
+
+/// The selector used by the "full RASA" benches (Figs. 6, 7, 9, 10): the
+/// trained GCN, cached at ./rasa_selector_cache.{gcn,mlp} so the labeling +
+/// training pass runs once across all bench binaries.
+inline AlgorithmSelector BenchSelector() {
+  SelectorTrainingOptions train;
+  train.num_samples = 120;
+  train.label_timeout_seconds = std::max(0.2, BenchTimeout() / 3.0);
+  train.cluster_scale = 1.5 * BenchScale();
+  std::fprintf(stderr, "loading/training the GCN selector...\n");
+  StatusOr<TrainedSelectors> selectors =
+      GetOrTrainSelectors("rasa_selector_cache", train);
+  RASA_CHECK(selectors.ok()) << selectors.status().ToString();
+  return AlgorithmSelector(std::move(selectors->gcn));
+}
+
+inline void PrintHeader(const std::string& title, const std::string& what) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("scale=1/%.0f  timeout=%.2fs  (paper: full scale, 60s)\n",
+              BenchScale(), BenchTimeout());
+  std::printf("==================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("------------------------------------------------------------------\n");
+}
+
+}  // namespace rasa::bench
+
+#endif  // RASA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,146 @@
+// rasa_cli — command-line front end for the library.
+//
+//   rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>
+//       Generate a synthetic cluster snapshot and write it to disk.
+//   rasa_cli stats <in.snapshot>
+//       Print the cluster's scale, affinity structure, and current
+//       gained affinity.
+//   rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]
+//       Run the RASA algorithm on the snapshot; print the improvement and
+//       the migration plan summary; optionally write the optimized
+//       snapshot back to disk.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "cluster/serialization.h"
+#include "core/objective.h"
+#include "core/rasa.h"
+#include "graph/powerlaw_fit.h"
+
+namespace {
+
+using namespace rasa;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
+               "  rasa_cli stats <in.snapshot>\n"
+               "  rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]\n");
+  return 2;
+}
+
+int Generate(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  const std::string preset = argv[2];
+  const double scale = std::atof(argv[3]);
+  ClusterSpec spec;
+  if (preset == "M1") {
+    spec = M1Spec(scale);
+  } else if (preset == "M2") {
+    spec = M2Spec(scale);
+  } else if (preset == "M3") {
+    spec = M3Spec(scale);
+  } else if (preset == "M4") {
+    spec = M4Spec(scale);
+  } else {
+    return Usage();
+  }
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "generate: %s\n",
+                 snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const Status saved = SaveSnapshotToFile(*snapshot, argv[4]);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s: %d services, %d containers, %d machines\n", argv[4],
+              snapshot->cluster->num_services(),
+              snapshot->cluster->num_containers(),
+              snapshot->cluster->num_machines());
+  return 0;
+}
+
+int Stats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  const Cluster& cluster = *snapshot->cluster;
+  std::printf("%s: %d services, %d containers, %d machines, %d resources\n",
+              snapshot->name.c_str(), cluster.num_services(),
+              cluster.num_containers(), cluster.num_machines(),
+              cluster.num_resources());
+  std::printf("affinity: %d edges, total weight %.4f\n",
+              cluster.affinity().num_edges(), cluster.affinity().TotalWeight());
+  const int top = std::max(1, cluster.num_services() / 10);
+  std::printf("top-10%% services hold %.1f%% of total affinity\n",
+              100.0 * TopKAffinityShare(cluster.affinity(), top));
+  std::printf("anti-affinity rules: %zu\n", cluster.anti_affinity().size());
+  std::printf("current gained affinity: %.4f\n",
+              GainedAffinity(cluster, snapshot->original_placement));
+  std::printf("placement feasible (incl. SLA): %s\n",
+              snapshot->original_placement.CheckFeasible(true).ok() ? "yes"
+                                                                    : "no");
+  return 0;
+}
+
+int Optimize(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  RasaOptions options;
+  options.timeout_seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+  RasaOptimizer optimizer(options,
+                          AlgorithmSelector(SelectorPolicy::kHeuristic));
+  StatusOr<RasaResult> result =
+      optimizer.Optimize(*snapshot->cluster, snapshot->original_placement);
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimize: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("gained affinity: %.4f -> %.4f (%.2fx) in %.2fs\n",
+              result->original_gained_affinity, result->new_gained_affinity,
+              result->new_gained_affinity /
+                  std::max(1e-9, result->original_gained_affinity),
+              result->elapsed_seconds);
+  std::printf("moved containers: %d / %d\n", result->moved_containers,
+              snapshot->cluster->num_containers());
+  if (result->should_execute) {
+    std::printf("migration plan: %s\n", result->migration.Summary().c_str());
+  } else {
+    std::printf("dry-run (improvement below threshold)\n");
+  }
+  if (argc > 4) {
+    ClusterSnapshot optimized{snapshot->name + "-optimized",
+                              snapshot->cluster, result->new_placement};
+    const Status saved = SaveSnapshotToFile(optimized, argv[4]);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote optimized snapshot to %s\n", argv[4]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
+  if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
+  if (std::strcmp(argv[1], "optimize") == 0) return Optimize(argc, argv);
+  return Usage();
+}

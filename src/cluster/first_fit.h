@@ -1,0 +1,37 @@
+#ifndef RASA_CLUSTER_FIRST_FIT_H_
+#define RASA_CLUSTER_FIRST_FIT_H_
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace rasa {
+
+/// How the scoring half of filter-and-score ranks feasible machines.
+enum class FirstFitScore {
+  /// Most remaining normalized resources first (spreads load; this is the
+  /// ORIGINAL production scheduler of §V-A).
+  kLeastAllocated,
+  /// Least remaining resources first (packs machines tightly).
+  kMostAllocated,
+};
+
+/// Kubernetes-style filter-and-score placement: services are processed in
+/// the given order (shuffled when `shuffle` is set), each container is
+/// placed on the feasible machine with the best score. Fails only if some
+/// container fits on no machine.
+StatusOr<Placement> FirstFitPlace(const Cluster& cluster, Rng& rng,
+                                  FirstFitScore score =
+                                      FirstFitScore::kLeastAllocated,
+                                  bool shuffle = true);
+
+/// Fraction of each machine's dominant resource in use, averaged across
+/// machines — a quick load-balance indicator used in tests and the
+/// trade-off discussion of §III-B.
+double AverageUtilization(const Placement& placement);
+
+}  // namespace rasa
+
+#endif  // RASA_CLUSTER_FIRST_FIT_H_

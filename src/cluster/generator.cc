@@ -1,0 +1,280 @@
+#include "cluster/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/first_fit.h"
+#include "common/strings.h"
+
+namespace rasa {
+namespace {
+
+// Heavy-tailed container count with the requested mean: lognormal-shaped
+// multiplier around the mean, clamped to [1, 40 * mean].
+int SampleDemand(double mean, Rng& rng) {
+  const double sigma = 0.8;
+  const double z = rng.NextGaussian();
+  const double raw = mean * std::exp(sigma * z - sigma * sigma / 2.0);
+  const int demand = static_cast<int>(std::lround(raw));
+  return std::clamp(demand, 1, std::max(2, static_cast<int>(40 * mean)));
+}
+
+}  // namespace
+
+namespace {
+StatusOr<ClusterSnapshot> GenerateClusterOnce(const ClusterSpec& spec);
+}  // namespace
+
+StatusOr<ClusterSnapshot> GenerateCluster(const ClusterSpec& spec) {
+  // Tiny instances can be unschedulable for one unlucky draw (lumpy demands
+  // vs. few machines); retry deterministically with derived seeds.
+  Status last = InternalError("unreachable");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    ClusterSpec retry = spec;
+    retry.seed = spec.seed + 0x9e3779b97f4a7c15ULL * attempt;
+    // Later attempts also add capacity headroom.
+    retry.capacity_headroom = spec.capacity_headroom * (1.0 + 0.1 * attempt);
+    StatusOr<ClusterSnapshot> snapshot = GenerateClusterOnce(retry);
+    if (snapshot.ok()) return snapshot;
+    last = snapshot.status();
+    if (last.code() == StatusCode::kInvalidArgument) return last;
+  }
+  return last;
+}
+
+namespace {
+
+StatusOr<ClusterSnapshot> GenerateClusterOnce(const ClusterSpec& spec) {
+  if (spec.num_services <= 0 || spec.num_machines <= 0) {
+    return InvalidArgumentError("cluster spec needs positive sizes");
+  }
+  Rng rng(spec.seed);
+  const std::vector<std::string> resources = {"cpu", "memory"};
+  const int R = 2;
+
+  // --- Services (platforms assigned after the affinity graph) --------------
+  std::vector<Service> services(spec.num_services);
+  static const double kCpuChoices[] = {0.5, 1.0, 2.0, 4.0};
+  for (int s = 0; s < spec.num_services; ++s) {
+    Service& svc = services[s];
+    svc.name = StrFormat("svc-%04d", s);
+    svc.demand = SampleDemand(spec.containers_per_service, rng);
+    const double cpu = kCpuChoices[rng.NextUint64(4)];
+    const double mem = cpu * rng.NextDouble(1.5, 4.0);  // GB per core-ish
+    svc.request = {cpu, mem};
+    svc.platform = 0;
+  }
+
+  // --- Affinity graph --------------------------------------------------------
+  // A subset of services participates; edges are attached with power-law
+  // preference so T(s) follows Assumption 4.1.
+  const int num_affinity =
+      std::max(2, static_cast<int>(spec.num_services * spec.affinity_fraction));
+  std::vector<int> affinity_services =
+      rng.SampleWithoutReplacement(spec.num_services, num_affinity);
+  const int num_edges =
+      std::max(1, static_cast<int>(num_affinity * spec.edge_factor));
+  Rng graph_rng = rng.Fork(17);
+  // Fan-out cap: even the hottest production service talks to a bounded set
+  // of peers, which is what lets small subproblems contain hub traffic.
+  const int max_degree = std::min(14, num_affinity - 1);
+  AffinityGraph local =
+      GeneratePowerLawGraph(num_affinity, num_edges, spec.affinity_beta,
+                            graph_rng, max_degree);
+  AffinityGraph affinity(spec.num_services);
+  for (const AffinityEdge& e : local.edges()) {
+    // Mapping through the sampled id list embeds the subgraph.
+    affinity.AddEdge(affinity_services[e.u], affinity_services[e.v], e.weight);
+  }
+  affinity.NormalizeWeights();
+
+  // --- Platform assignment (compatibility) ---------------------------------
+  // Whole affinity components share a platform: services that exchange
+  // traffic can always share machines (otherwise the affinity would be
+  // unrealizable — production clusters do not pin callers and callees to
+  // incompatible stacks). Small components and isolated services fill the
+  // minority platform up to its requested share.
+  {
+    int num_components = 0;
+    const std::vector<int> component =
+        affinity.ConnectedComponents(&num_components);
+    std::vector<std::vector<int>> members(num_components);
+    for (int s = 0; s < spec.num_services; ++s) {
+      members[component[s]].push_back(s);
+    }
+    std::vector<int> order(num_components);
+    for (int k = 0; k < num_components; ++k) order[k] = k;
+    rng.Shuffle(order);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return members[a].size() < members[b].size();
+    });
+    const int minority_target = static_cast<int>(
+        spec.minority_platform_fraction * spec.num_services);
+    int assigned = 0;
+    for (int k : order) {
+      if (assigned >= minority_target) break;
+      if (assigned + static_cast<int>(members[k].size()) >
+          minority_target + 2) {
+        continue;  // would overshoot; try a smaller component
+      }
+      for (int s : members[k]) services[s].platform = 1;
+      assigned += static_cast<int>(members[k].size());
+    }
+  }
+  std::vector<double> total_request_by_platform[2];
+  total_request_by_platform[0].assign(R, 0.0);
+  total_request_by_platform[1].assign(R, 0.0);
+  for (const Service& svc : services) {
+    for (int r = 0; r < R; ++r) {
+      total_request_by_platform[svc.platform][r] += svc.request[r] * svc.demand;
+    }
+  }
+
+  // --- Machines ------------------------------------------------------------
+  // Machine counts per platform proportional to requested load; capacities
+  // chosen so each platform has `capacity_headroom` slack. Three specs per
+  // platform: small / medium / large around the average requirement.
+  const double total_cpu = total_request_by_platform[0][0] +
+                           total_request_by_platform[1][0];
+  std::vector<Machine> machines;
+  int next_spec_id = 0;
+  for (int platform = 0; platform < 2; ++platform) {
+    const double cpu_share =
+        total_cpu > 0.0 ? total_request_by_platform[platform][0] / total_cpu
+                        : (platform == 0 ? 1.0 : 0.0);
+    int count = std::max(
+        total_request_by_platform[platform][0] > 0.0 ? 1 : 0,
+        static_cast<int>(std::lround(spec.num_machines * cpu_share)));
+    if (count == 0) continue;
+    double per_machine[2];
+    for (int r = 0; r < R; ++r) {
+      per_machine[r] = total_request_by_platform[platform][r] *
+                       spec.capacity_headroom / count;
+    }
+    struct SpecShape {
+      double factor;
+      double mix;
+    };
+    static const SpecShape kShapes[] = {{0.7, 0.4}, {1.0, 0.4}, {1.8, 0.2}};
+    // Normalize so the blended capacity matches per_machine on average:
+    // 0.7*0.4 + 1.0*0.4 + 1.8*0.2 = 1.04.
+    const double blend = 1.04;
+    int spec_ids[3];
+    for (int i = 0; i < 3; ++i) spec_ids[i] = next_spec_id++;
+    for (int m = 0; m < count; ++m) {
+      const double u = rng.NextDouble();
+      const int shape = u < kShapes[0].mix ? 0 : (u < kShapes[0].mix + kShapes[1].mix ? 1 : 2);
+      Machine machine;
+      machine.platform = platform;
+      machine.spec_id = spec_ids[shape];
+      machine.name = StrFormat("m-%04zu", machines.size());
+      machine.capacity.assign(R, 0.0);
+      for (int r = 0; r < R; ++r) {
+        machine.capacity[r] =
+            std::ceil(per_machine[r] * kShapes[shape].factor / blend);
+      }
+      machines.push_back(std::move(machine));
+    }
+  }
+
+  // --- Anti-affinity ----------------------------------------------------------
+  int machines_per_platform[2] = {0, 0};
+  for (const Machine& m : machines) ++machines_per_platform[m.platform];
+  std::vector<AntiAffinityRule> rules;
+  for (int s = 0; s < spec.num_services; ++s) {
+    if (services[s].demand < 2) continue;
+    if (!rng.NextBool(spec.anti_affinity_probability)) continue;
+    AntiAffinityRule rule;
+    rule.services = {s};
+    // Spread each service across ~3 machines, but keep the instance
+    // schedulable even when its platform has few machines.
+    const int d = services[s].demand;
+    const int platform_machines =
+        std::max(1, machines_per_platform[services[s].platform]);
+    const int schedulable_floor =
+        (d + std::max(1, platform_machines - 1) - 1) /
+        std::max(1, platform_machines - 1);
+    rule.max_per_machine = std::max({2, (d + 2) / 3, schedulable_floor});
+    rules.push_back(std::move(rule));
+  }
+  // A few multi-service disaster-domain rules over affine pairs.
+  const int num_group_rules = spec.num_services / 50;
+  for (int k = 0; k < num_group_rules; ++k) {
+    const std::vector<int> members =
+        rng.SampleWithoutReplacement(spec.num_services, 3);
+    int demand_sum = 0;
+    for (int s : members) demand_sum += services[s].demand;
+    AntiAffinityRule rule;
+    rule.services = members;
+    rule.max_per_machine = std::max(3, demand_sum / 2);
+    rules.push_back(std::move(rule));
+  }
+
+  auto cluster = std::make_shared<Cluster>(
+      resources, std::move(services), std::move(machines),
+      std::move(affinity), std::move(rules));
+  RASA_RETURN_IF_ERROR(cluster->Validate());
+
+  Rng place_rng = rng.Fork(23);
+  RASA_ASSIGN_OR_RETURN(
+      Placement placement,
+      FirstFitPlace(*cluster, place_rng, FirstFitScore::kLeastAllocated));
+
+  ClusterSnapshot snapshot{spec.name, std::move(cluster), Placement()};
+  snapshot.original_placement = std::move(placement);
+  return snapshot;
+}
+
+}  // namespace
+
+namespace {
+
+ClusterSpec ScaledSpec(const char* name, int services, int containers,
+                       int machines, double beta, double scale,
+                       uint64_t seed) {
+  ClusterSpec spec;
+  spec.name = name;
+  scale = std::max(1.0, scale);
+  spec.num_services = std::max(8, static_cast<int>(services / scale));
+  spec.num_machines = std::max(3, static_cast<int>(machines / scale));
+  spec.containers_per_service =
+      static_cast<double>(containers) / services;
+  spec.affinity_beta = beta;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+// Table II: M1 5904/25640/977, M2 10180/152833/5284, M3 547/3485/96,
+// M4 10682/113261/4365.
+ClusterSpec M1Spec(double scale) {
+  return ScaledSpec("M1", 5904, 25640, 977, 1.7, scale, 101);
+}
+ClusterSpec M2Spec(double scale) {
+  return ScaledSpec("M2", 10180, 152833, 5284, 1.5, scale, 102);
+}
+ClusterSpec M3Spec(double scale) {
+  // M3 is the paper's small cluster (the one where even NO-PARTITION
+  // finishes); scale it mildly less than the big ones so it keeps enough
+  // structure to be interesting while staying clearly the smallest.
+  return ScaledSpec("M3", 547, 3485, 96, 1.55, std::max(1.0, scale / 2.0), 103);
+}
+ClusterSpec M4Spec(double scale) {
+  return ScaledSpec("M4", 10682, 113261, 4365, 1.6, scale, 104);
+}
+
+std::vector<ClusterSpec> TableTwoSpecs(double scale) {
+  return {M1Spec(scale), M2Spec(scale), M3Spec(scale), M4Spec(scale)};
+}
+
+ClusterScaleStats ComputeScaleStats(const ClusterSnapshot& snapshot) {
+  ClusterScaleStats stats;
+  stats.name = snapshot.name;
+  stats.num_services = snapshot.cluster->num_services();
+  stats.num_containers = snapshot.cluster->num_containers();
+  stats.num_machines = snapshot.cluster->num_machines();
+  return stats;
+}
+
+}  // namespace rasa

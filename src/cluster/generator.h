@@ -1,0 +1,78 @@
+#ifndef RASA_CLUSTER_GENERATOR_H_
+#define RASA_CLUSTER_GENERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/rng.h"
+#include "common/statusor.h"
+
+namespace rasa {
+
+/// Parameters of the synthetic trace generator. Defaults reproduce the
+/// structural properties measured in the paper: power-law total-affinity
+/// skew (Assumption 4.1 / Fig. 5), heterogeneous machine specs, a minority
+/// platform for compatibility partitioning, per-service anti-affinity.
+struct ClusterSpec {
+  std::string name = "cluster";
+  int num_services = 200;
+  int num_machines = 40;
+  /// Target mean containers per service (actual counts are heavy-tailed).
+  double containers_per_service = 6.0;
+  /// Power-law exponent beta of Assumption 4.1 (must be > 1).
+  double affinity_beta = 1.6;
+  /// Fraction of services that participate in the affinity graph at all.
+  double affinity_fraction = 0.55;
+  /// Edges as a multiple of the number of affinity services.
+  double edge_factor = 1.3;
+  /// Fraction of services (and matching machine capacity) on the minority
+  /// platform; drives compatibility partitioning.
+  double minority_platform_fraction = 0.15;
+  /// Total machine capacity as a multiple of total requested resources.
+  double capacity_headroom = 1.45;
+  /// Probability that a service gets a service-to-machine anti-affinity
+  /// rule limiting containers per machine.
+  double anti_affinity_probability = 0.6;
+  uint64_t seed = 1;
+};
+
+/// A generated cluster together with its ORIGINAL-scheduler placement —
+/// the "cluster state" snapshot the Data Collector feeds to RASA (§III-A).
+/// The cluster lives behind a shared_ptr because Placement objects hold a
+/// pointer to it: the snapshot stays safely movable/copyable.
+struct ClusterSnapshot {
+  std::string name;
+  std::shared_ptr<const Cluster> cluster;
+  Placement original_placement;
+};
+
+/// Generates a cluster from `spec` and places it with the ORIGINAL
+/// first-fit/filter-and-score scheduler. Fails only if the generated
+/// instance is unschedulable (should not happen with default headroom).
+StatusOr<ClusterSnapshot> GenerateCluster(const ClusterSpec& spec);
+
+/// Specs reproducing Table II's four production clusters, linearly scaled
+/// down by `scale` (>= 1). scale=1 is the paper's full size; the default
+/// used by benches is 16 to fit a single-core machine.
+ClusterSpec M1Spec(double scale = 16.0);
+ClusterSpec M2Spec(double scale = 16.0);
+ClusterSpec M3Spec(double scale = 16.0);
+ClusterSpec M4Spec(double scale = 16.0);
+/// All four, in order M1..M4.
+std::vector<ClusterSpec> TableTwoSpecs(double scale = 16.0);
+
+/// One row of Table II.
+struct ClusterScaleStats {
+  std::string name;
+  int num_services = 0;
+  int num_containers = 0;
+  int num_machines = 0;
+};
+ClusterScaleStats ComputeScaleStats(const ClusterSnapshot& snapshot);
+
+}  // namespace rasa
+
+#endif  // RASA_CLUSTER_GENERATOR_H_

@@ -1,0 +1,201 @@
+#include "cluster/serialization.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace rasa {
+namespace {
+
+constexpr char kMagic[] = "rasa-snapshot-v1";
+
+}  // namespace
+
+std::string SerializeSnapshot(const ClusterSnapshot& snapshot) {
+  const Cluster& cluster = *snapshot.cluster;
+  std::ostringstream os;
+  os.precision(17);
+  os << kMagic << "\n";
+  os << "name " << snapshot.name << "\n";
+
+  os << "resources " << cluster.num_resources();
+  for (const std::string& r : cluster.resource_names()) os << " " << r;
+  os << "\n";
+
+  os << "services " << cluster.num_services() << "\n";
+  for (const Service& s : cluster.services()) {
+    os << s.name << " " << s.demand << " " << s.platform;
+    for (double r : s.request) os << " " << r;
+    os << "\n";
+  }
+
+  os << "machines " << cluster.num_machines() << "\n";
+  for (const Machine& m : cluster.machines()) {
+    os << m.name << " " << m.spec_id << " " << m.platform;
+    for (double c : m.capacity) os << " " << c;
+    os << "\n";
+  }
+
+  os << "affinity " << cluster.affinity().num_edges() << "\n";
+  for (const AffinityEdge& e : cluster.affinity().edges()) {
+    os << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+
+  os << "anti_affinity " << cluster.anti_affinity().size() << "\n";
+  for (const AntiAffinityRule& rule : cluster.anti_affinity()) {
+    os << rule.max_per_machine << " " << rule.services.size();
+    for (int s : rule.services) os << " " << s;
+    os << "\n";
+  }
+
+  // Placement entries: (machine, service, count).
+  int entries = 0;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    entries += static_cast<int>(snapshot.original_placement.ServicesOn(m).size());
+  }
+  os << "placement " << entries << "\n";
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& [s, count] : snapshot.original_placement.ServicesOn(m)) {
+      os << m << " " << s << " " << count << "\n";
+    }
+  }
+  os << "end\n";
+  return os.str();
+}
+
+StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
+  std::istringstream is(text);
+  std::string token;
+  if (!(is >> token) || token != kMagic) {
+    return InvalidArgumentError("bad snapshot header");
+  }
+  auto expect = [&](const char* keyword) -> Status {
+    if (!(is >> token) || token != keyword) {
+      return InvalidArgumentError(
+          StrFormat("expected '%s' in snapshot", keyword));
+    }
+    return Status::OK();
+  };
+
+  ClusterSnapshot snapshot;
+  RASA_RETURN_IF_ERROR(expect("name"));
+  if (!(is >> snapshot.name)) return InvalidArgumentError("missing name");
+
+  RASA_RETURN_IF_ERROR(expect("resources"));
+  int num_resources = 0;
+  if (!(is >> num_resources) || num_resources < 0 || num_resources > 64) {
+    return InvalidArgumentError("bad resource count");
+  }
+  std::vector<std::string> resource_names(num_resources);
+  for (std::string& r : resource_names) {
+    if (!(is >> r)) return InvalidArgumentError("missing resource name");
+  }
+
+  RASA_RETURN_IF_ERROR(expect("services"));
+  int num_services = 0;
+  if (!(is >> num_services) || num_services < 0) {
+    return InvalidArgumentError("bad service count");
+  }
+  std::vector<Service> services(num_services);
+  for (Service& s : services) {
+    if (!(is >> s.name >> s.demand >> s.platform)) {
+      return InvalidArgumentError("truncated service record");
+    }
+    s.request.resize(num_resources);
+    for (double& r : s.request) {
+      if (!(is >> r)) return InvalidArgumentError("truncated service request");
+    }
+  }
+
+  RASA_RETURN_IF_ERROR(expect("machines"));
+  int num_machines = 0;
+  if (!(is >> num_machines) || num_machines < 0) {
+    return InvalidArgumentError("bad machine count");
+  }
+  std::vector<Machine> machines(num_machines);
+  for (Machine& m : machines) {
+    if (!(is >> m.name >> m.spec_id >> m.platform)) {
+      return InvalidArgumentError("truncated machine record");
+    }
+    m.capacity.resize(num_resources);
+    for (double& c : m.capacity) {
+      if (!(is >> c)) return InvalidArgumentError("truncated capacity");
+    }
+  }
+
+  RASA_RETURN_IF_ERROR(expect("affinity"));
+  int num_edges = 0;
+  if (!(is >> num_edges) || num_edges < 0) {
+    return InvalidArgumentError("bad edge count");
+  }
+  AffinityGraph affinity(num_services);
+  for (int e = 0; e < num_edges; ++e) {
+    int u = 0, v = 0;
+    double w = 0.0;
+    if (!(is >> u >> v >> w)) return InvalidArgumentError("truncated edge");
+    RASA_RETURN_IF_ERROR(affinity.AddEdge(u, v, w));
+  }
+
+  RASA_RETURN_IF_ERROR(expect("anti_affinity"));
+  int num_rules = 0;
+  if (!(is >> num_rules) || num_rules < 0) {
+    return InvalidArgumentError("bad rule count");
+  }
+  std::vector<AntiAffinityRule> rules(num_rules);
+  for (AntiAffinityRule& rule : rules) {
+    size_t members = 0;
+    if (!(is >> rule.max_per_machine >> members) || members > 1u << 20) {
+      return InvalidArgumentError("truncated rule");
+    }
+    rule.services.resize(members);
+    for (int& s : rule.services) {
+      if (!(is >> s)) return InvalidArgumentError("truncated rule members");
+    }
+  }
+
+  snapshot.cluster = std::make_shared<Cluster>(
+      std::move(resource_names), std::move(services), std::move(machines),
+      std::move(affinity), std::move(rules));
+  RASA_RETURN_IF_ERROR(snapshot.cluster->Validate());
+
+  RASA_RETURN_IF_ERROR(expect("placement"));
+  int entries = 0;
+  if (!(is >> entries) || entries < 0) {
+    return InvalidArgumentError("bad placement count");
+  }
+  snapshot.original_placement = Placement(*snapshot.cluster);
+  for (int i = 0; i < entries; ++i) {
+    int m = 0, s = 0, count = 0;
+    if (!(is >> m >> s >> count)) {
+      return InvalidArgumentError("truncated placement entry");
+    }
+    if (m < 0 || m >= num_machines || s < 0 || s >= num_services ||
+        count <= 0) {
+      return InvalidArgumentError(
+          StrFormat("bad placement entry (%d, %d, %d)", m, s, count));
+    }
+    snapshot.original_placement.Add(m, s, count);
+  }
+  RASA_RETURN_IF_ERROR(expect("end"));
+  return snapshot;
+}
+
+Status SaveSnapshotToFile(const ClusterSnapshot& snapshot,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return InternalError(StrFormat("cannot open %s", path.c_str()));
+  out << SerializeSnapshot(snapshot);
+  return out.good() ? Status::OK()
+                    : InternalError(StrFormat("write failed: %s", path.c_str()));
+}
+
+StatusOr<ClusterSnapshot> LoadSnapshotFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeSnapshot(buffer.str());
+}
+
+}  // namespace rasa

@@ -1,0 +1,28 @@
+#ifndef RASA_CLUSTER_SERIALIZATION_H_
+#define RASA_CLUSTER_SERIALIZATION_H_
+
+#include <string>
+
+#include "cluster/generator.h"
+#include "common/statusor.h"
+
+namespace rasa {
+
+/// Serializes a cluster snapshot (cluster + placement) into a line-oriented,
+/// human-diffable text format — the persistent form of the Data Collector's
+/// output (§III-A). Stable across versions via a header tag.
+std::string SerializeSnapshot(const ClusterSnapshot& snapshot);
+
+/// Parses a snapshot produced by SerializeSnapshot. Validates the cluster
+/// and the placement's structural integrity (counts within machine range,
+/// no unknown services) but intentionally does NOT require feasibility —
+/// collected production states may be transiently over-committed.
+StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text);
+
+Status SaveSnapshotToFile(const ClusterSnapshot& snapshot,
+                          const std::string& path);
+StatusOr<ClusterSnapshot> LoadSnapshotFromFile(const std::string& path);
+
+}  // namespace rasa
+
+#endif  // RASA_CLUSTER_SERIALIZATION_H_

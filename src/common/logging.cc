@@ -1,0 +1,78 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace rasa {
+namespace {
+
+LogLevel ParseEnvLevel() {
+  const char* env = std::getenv("RASA_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarning;
+  switch (env[0]) {
+    case '0':
+      return LogLevel::kDebug;
+    case '1':
+      return LogLevel::kInfo;
+    case '2':
+      return LogLevel::kWarning;
+    case '3':
+      return LogLevel::kError;
+    default:
+      return LogLevel::kWarning;
+  }
+}
+
+LogLevel& MutableLevel() {
+  static LogLevel level = ParseEnvLevel();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { MutableLevel() = level; }
+LogLevel GetLogLevel() { return MutableLevel(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  (void)level_;
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace rasa

@@ -1,0 +1,73 @@
+#ifndef RASA_COMMON_LOGGING_H_
+#define RASA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace rasa {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to
+/// kWarning so tests and benches stay quiet; set RASA_LOG_LEVEL=0..3 or call
+/// SetLogLevel to change.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Consumes a stream expression when logging is compiled out / disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define RASA_LOG(level)                                                \
+  if (::rasa::LogLevel::k##level < ::rasa::GetLogLevel()) {            \
+  } else                                                               \
+    ::rasa::internal::LogMessage(::rasa::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                             \
+        .stream()
+
+// Fatal check macro: always on, aborts with a message on failure.
+#define RASA_CHECK(cond)                                                     \
+  if (cond) {                                                                \
+  } else                                                                     \
+    ::rasa::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rasa
+
+#endif  // RASA_COMMON_LOGGING_H_

@@ -1,0 +1,100 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rasa {
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::NextExponential(double rate) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+double Rng::NextPareto(double x_min, double alpha) {
+  double u = NextDouble();
+  if (u < 1e-300) u = 1e-300;
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  assert(k <= n);
+  // Partial Fisher-Yates over an index array.
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  for (int i = 0; i < k; ++i) {
+    int j = i + static_cast<int>(NextUint64(static_cast<uint64_t>(n - i)));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::Fork(uint64_t stream) {
+  return Rng(Next() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545F4914F6CDD1DULL));
+}
+
+}  // namespace rasa

@@ -1,0 +1,81 @@
+#ifndef RASA_COMMON_STATUS_H_
+#define RASA_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace rasa {
+
+// Canonical error codes, modeled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
+  kInfeasible = 10,   // Optimization model has no feasible solution.
+  kUnbounded = 11,    // Optimization model is unbounded.
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result used throughout the library instead
+/// of exceptions. Cheap to copy in the OK case (no message allocated).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE_NAME: message".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status InfeasibleError(std::string message);
+Status UnboundedError(std::string message);
+
+// Propagates a non-OK status to the caller.
+#define RASA_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::rasa::Status _status = (expr);                \
+    if (!_status.ok()) return _status;              \
+  } while (false)
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_STATUS_H_

@@ -1,0 +1,68 @@
+#ifndef RASA_COMMON_STATUSOR_H_
+#define RASA_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rasa {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a non-OK StatusOr aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit conversions from T and Status make `return value;` and
+  // `return SomeError(...);` both work, mirroring absl::StatusOr.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates `rexpr` (a StatusOr expression); on error returns the status,
+// otherwise moves the value into `lhs`.
+#define RASA_ASSIGN_OR_RETURN(lhs, rexpr)             \
+  RASA_ASSIGN_OR_RETURN_IMPL_(                        \
+      RASA_STATUS_MACROS_CONCAT_(_status_or, __LINE__), lhs, rexpr)
+
+#define RASA_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                                \
+  if (!statusor.ok()) return statusor.status();           \
+  lhs = std::move(statusor).value()
+
+#define RASA_STATUS_MACROS_CONCAT_(x, y) RASA_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define RASA_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_STATUSOR_H_

@@ -1,0 +1,28 @@
+#ifndef RASA_COMMON_STRINGS_H_
+#define RASA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rasa {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Left-pads with spaces to at least `width` characters.
+std::string PadLeft(const std::string& text, size_t width);
+
+/// Right-pads with spaces to at least `width` characters.
+std::string PadRight(const std::string& text, size_t width);
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_STRINGS_H_

@@ -1,0 +1,68 @@
+#ifndef RASA_COMMON_TIMER_H_
+#define RASA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <limits>
+
+namespace rasa {
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time by which work must finish. Passed down through solver
+/// layers so every anytime algorithm honors the same global budget.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : expires_(Clock::time_point::max()) {}
+
+  static Deadline AfterSeconds(double seconds) {
+    Deadline d;
+    d.expires_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline Infinite() { return Deadline(); }
+
+  bool Expired() const { return Clock::now() >= expires_; }
+
+  /// Seconds until expiry; +inf for infinite deadlines, <= 0 if expired.
+  double RemainingSeconds() const {
+    if (expires_ == Clock::time_point::max()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::chrono::duration<double>(expires_ - Clock::now()).count();
+  }
+
+  /// The earlier of this deadline and one `seconds` from now.
+  Deadline ClampedToSeconds(double seconds) const {
+    Deadline other = AfterSeconds(seconds);
+    Deadline result;
+    result.expires_ = expires_ < other.expires_ ? expires_ : other.expires_;
+    return result;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point expires_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_TIMER_H_

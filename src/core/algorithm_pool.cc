@@ -1,0 +1,42 @@
+#include "core/algorithm_pool.h"
+
+#include "core/cg.h"
+#include "core/mip_algorithm.h"
+
+namespace rasa {
+
+const char* PoolAlgorithmToString(PoolAlgorithm algorithm) {
+  switch (algorithm) {
+    case PoolAlgorithm::kCg:
+      return "CG";
+    case PoolAlgorithm::kMip:
+      return "MIP";
+  }
+  return "UNKNOWN";
+}
+
+StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
+                                              const Cluster& cluster,
+                                              const Subproblem& subproblem,
+                                              const Placement& base,
+                                              const Placement& original,
+                                              const Deadline& deadline,
+                                              uint64_t seed) {
+  switch (algorithm) {
+    case PoolAlgorithm::kCg: {
+      CgOptions options;
+      options.deadline = deadline;
+      options.seed = seed;
+      return SolveSubproblemCg(cluster, subproblem, base, original, options);
+    }
+    case PoolAlgorithm::kMip: {
+      MipAlgorithmOptions options;
+      options.deadline = deadline;
+      options.seed = seed;
+      return SolveSubproblemMip(cluster, subproblem, base, options);
+    }
+  }
+  return InvalidArgumentError("unknown pool algorithm");
+}
+
+}  // namespace rasa

@@ -1,0 +1,30 @@
+#ifndef RASA_CORE_ALGORITHM_POOL_H_
+#define RASA_CORE_ALGORITHM_POOL_H_
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "common/timer.h"
+#include "core/subproblem.h"
+
+namespace rasa {
+
+/// The scheduling algorithm pool (§IV-C): column generation and MIP.
+enum class PoolAlgorithm { kCg = 0, kMip = 1 };
+
+const char* PoolAlgorithmToString(PoolAlgorithm algorithm);
+
+/// Runs one pool algorithm on a subproblem. `base` holds the trivial
+/// residents (defines residual capacities); `original` is the pre-RASA
+/// placement (CG seeds patterns from it). Neither is modified.
+StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
+                                              const Cluster& cluster,
+                                              const Subproblem& subproblem,
+                                              const Placement& base,
+                                              const Placement& original,
+                                              const Deadline& deadline,
+                                              uint64_t seed = 29);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_ALGORITHM_POOL_H_

@@ -1,0 +1,62 @@
+#ifndef RASA_CORE_CG_H_
+#define RASA_CORE_CG_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "common/timer.h"
+#include "core/subproblem.h"
+
+namespace rasa {
+
+struct CgOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// Stop after this many pricing rounds even if improving patterns remain.
+  int max_rounds = 40;
+  /// Reduced-cost threshold for accepting a generated pattern.
+  double pricing_tolerance = 1e-7;
+  /// Pricing also evaluates adding both endpoints of an affinity edge at
+  /// once, which lets the greedy escape "first container looks
+  /// unprofitable" traps. Disable for the ablation bench.
+  bool pair_pricing = true;
+  /// Column management: cap on patterns kept per machine between rounds
+  /// (<= 0 keeps everything; masters then grow quadratically).
+  int max_patterns_per_machine = 14;
+  /// After rounding, greedily place demand the clipped patterns missed.
+  bool greedy_completion = true;
+  uint64_t seed = 13;
+};
+
+struct CgStats {
+  int rounds = 0;
+  int patterns_generated = 0;
+  int master_solves = 0;
+  bool hit_deadline = false;
+};
+
+/// The column-generation pool algorithm (§IV-C2, Algorithm 1).
+///
+/// Works on the cutting-stock reformulation: each machine picks one
+/// feasible *pattern* (a container-count vector over subproblem services
+/// satisfying its residual resources, anti-affinity, and schedulability).
+/// The restricted master LP
+///    max  sum v(p) y_{m,p}
+///    s.t. sum_p y_{m,p} = 1            (per machine)
+///         sum_{m,p} p_s y_{m,p} <= d_s (per service)
+/// is re-solved after each pricing round; pricing maximizes
+/// v(p) - sum_s pi_s p_s - mu_m per machine with a marginal-gain greedy
+/// over single-container and edge-pair additions. Terminates when no
+/// pattern with positive reduced cost is found (IsTerminate) or at the
+/// deadline, then rounds y to an integral per-machine pattern choice.
+StatusOr<SubproblemSolution> SolveSubproblemCg(const Cluster& cluster,
+                                               const Subproblem& subproblem,
+                                               const Placement& base,
+                                               const Placement& original,
+                                               const CgOptions& options = {},
+                                               CgStats* stats = nullptr);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_CG_H_

@@ -1,0 +1,132 @@
+#include "core/greedy.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rasa {
+
+double MarginalGain(const Cluster& cluster, const Subproblem& subproblem,
+                    const Placement& working, int service, int machine) {
+  const int d_s = cluster.service(service).demand;
+  if (d_s <= 0) return 0.0;
+  // Neighbors of `service` within the subproblem.
+  std::unordered_set<int> member(subproblem.services.begin(),
+                                 subproblem.services.end());
+  double gain = 0.0;
+  const int x_s = working.CountOn(machine, service);
+  for (const auto& [nbr, w] : cluster.affinity().Neighbors(service)) {
+    if (member.count(nbr) == 0) continue;
+    const int d_n = cluster.service(nbr).demand;
+    if (d_n <= 0) continue;
+    const int x_n = working.CountOn(machine, nbr);
+    if (x_n == 0) continue;
+    const double before = std::min(static_cast<double>(x_s) / d_s,
+                                   static_cast<double>(x_n) / d_n);
+    const double after = std::min(static_cast<double>(x_s + 1) / d_s,
+                                  static_cast<double>(x_n) / d_n);
+    gain += w * (after - before);
+  }
+  return gain;
+}
+
+SubproblemSolution GreedyAffinityPlace(const Cluster& cluster,
+                                       const Subproblem& subproblem,
+                                       Placement& working) {
+  SubproblemSolution solution;
+
+  // Membership bitmap and internal adjacency, built once: the per-container
+  // loop below must not rebuild sets (whole-cluster fallbacks hit this path
+  // with thousands of containers).
+  std::vector<char> member(cluster.num_services(), 0);
+  for (int s : subproblem.services) member[s] = 1;
+
+  // Heaviest services first so later, lighter neighbors can chase them.
+  std::vector<int> order = subproblem.services;
+  std::vector<double> internal_affinity(cluster.num_services(), 0.0);
+  for (int s : subproblem.services) {
+    for (const auto& [nbr, w] : cluster.affinity().Neighbors(s)) {
+      if (member[nbr]) internal_affinity[s] += w;
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (internal_affinity[a] != internal_affinity[b]) {
+      return internal_affinity[a] > internal_affinity[b];
+    }
+    return a < b;
+  });
+
+  // Fast marginal gain against the working placement using the bitmap.
+  auto marginal = [&](int service, int machine) {
+    const int d_s = cluster.service(service).demand;
+    if (d_s <= 0) return 0.0;
+    const int x_s = working.CountOn(machine, service);
+    double gain = 0.0;
+    for (const auto& [nbr, w] : cluster.affinity().Neighbors(service)) {
+      if (!member[nbr]) continue;
+      const int d_n = cluster.service(nbr).demand;
+      if (d_n <= 0) continue;
+      const int x_n = working.CountOn(machine, nbr);
+      if (x_n == 0) continue;
+      gain += w * (std::min(static_cast<double>(x_s + 1) / d_s,
+                            static_cast<double>(x_n) / d_n) -
+                   std::min(static_cast<double>(x_s) / d_s,
+                            static_cast<double>(x_n) / d_n));
+    }
+    return gain;
+  };
+
+  std::vector<std::vector<int>> counts(
+      subproblem.services.size(),
+      std::vector<int>(subproblem.machines.size(), 0));
+  std::vector<int> local_of(cluster.num_services(), -1);
+  for (size_t i = 0; i < subproblem.services.size(); ++i) {
+    local_of[subproblem.services[i]] = static_cast<int>(i);
+  }
+
+  for (int s : order) {
+    const Service& svc = cluster.service(s);
+    for (int c = 0; c < svc.demand; ++c) {
+      int best_machine = -1;
+      double best_score = -1e300;
+      for (size_t mj = 0; mj < subproblem.machines.size(); ++mj) {
+        const int m = subproblem.machines[mj];
+        if (!working.CanPlace(m, s)) continue;
+        const double gain = marginal(s, m);
+        // Tie-break toward the machine with most free CPU so lone services
+        // spread instead of piling onto one host.
+        const double cap = cluster.machine(m).capacity[0];
+        const double free_frac =
+            cap > 0.0 ? working.FreeResource(m, 0) / cap : 0.0;
+        const double score = gain + 1e-6 * free_frac;
+        if (score > best_score) {
+          best_score = score;
+          best_machine = m;
+        }
+      }
+      if (best_machine < 0) {
+        ++solution.unplaced_containers;
+        continue;
+      }
+      working.Add(best_machine, s);
+      // Record in subproblem-local terms.
+      const auto it = std::find(subproblem.machines.begin(),
+                                subproblem.machines.end(), best_machine);
+      ++counts[local_of[s]][it - subproblem.machines.begin()];
+    }
+  }
+
+  for (size_t i = 0; i < subproblem.services.size(); ++i) {
+    for (size_t j = 0; j < subproblem.machines.size(); ++j) {
+      if (counts[i][j] > 0) {
+        solution.assignments.push_back({subproblem.services[i],
+                                        subproblem.machines[j],
+                                        counts[i][j]});
+      }
+    }
+  }
+  solution.gained_affinity =
+      SubproblemGainedAffinity(cluster, subproblem, counts);
+  return solution;
+}
+
+}  // namespace rasa

@@ -1,0 +1,29 @@
+#ifndef RASA_CORE_GREEDY_H_
+#define RASA_CORE_GREEDY_H_
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "core/subproblem.h"
+
+namespace rasa {
+
+/// Affinity-aware greedy packing of a subproblem: services are processed in
+/// decreasing internal-affinity order and every container goes to the
+/// feasible subproblem machine with the largest marginal gained-affinity
+/// (ties broken toward emptier machines). Used as the MIP warm start, the
+/// CG seed patterns, and the fallback when solvers fail.
+///
+/// `working` must contain the base placement (trivial residents); placed
+/// containers are added to it. Returns the solution in subproblem terms.
+SubproblemSolution GreedyAffinityPlace(const Cluster& cluster,
+                                       const Subproblem& subproblem,
+                                       Placement& working);
+
+/// Marginal gained affinity (over `subproblem.edges`) of adding one
+/// container of `service` to `machine` given current counts in `working`.
+double MarginalGain(const Cluster& cluster, const Subproblem& subproblem,
+                    const Placement& working, int service, int machine);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_GREEDY_H_

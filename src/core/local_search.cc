@@ -1,0 +1,156 @@
+#include "core/local_search.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/objective.h"
+
+namespace rasa {
+namespace {
+
+// Gained-affinity change from adding (sign=+1) or removing (sign=-1) one
+// container of `service` on `machine`, given current counts.
+double DeltaOne(const Cluster& cluster, const Placement& placement,
+                int service, int machine, int sign) {
+  const int d_s = cluster.service(service).demand;
+  if (d_s <= 0) return 0.0;
+  const int x_s = placement.CountOn(machine, service);
+  const int x_after = x_s + sign;
+  double delta = 0.0;
+  for (const auto& [nbr, w] : cluster.affinity().Neighbors(service)) {
+    const int d_n = cluster.service(nbr).demand;
+    if (d_n <= 0) continue;
+    const int x_n = placement.CountOn(machine, nbr);
+    if (x_n == 0) continue;
+    const double before = std::min(static_cast<double>(x_s) / d_s,
+                                   static_cast<double>(x_n) / d_n);
+    const double after = std::min(static_cast<double>(x_after) / d_s,
+                                  static_cast<double>(x_n) / d_n);
+    delta += w * (after - before);
+  }
+  return delta;
+}
+
+// Exact objective contribution of every edge incident to `s` or `t`
+// (deduplicated). Only these edges can change when containers of s and t
+// move, so before/after differences of this sum are exact swap deltas.
+double IncidentObjective(const Cluster& cluster, const Placement& placement,
+                         int s, int t) {
+  double total = 0.0;
+  for (const auto& [nbr, w] : cluster.affinity().Neighbors(s)) {
+    total += w * PairLocalizationRatio(cluster, placement, s, nbr);
+  }
+  for (const auto& [nbr, w] : cluster.affinity().Neighbors(t)) {
+    if (nbr == s) continue;  // edge (s, t) already counted above
+    total += w * PairLocalizationRatio(cluster, placement, t, nbr);
+  }
+  return total;
+}
+
+}  // namespace
+
+LocalSearchStats RefinePlacement(const Cluster& cluster, Placement& placement,
+                                 const LocalSearchOptions& options) {
+  LocalSearchStats stats;
+  constexpr double kTol = 1e-12;
+
+  // Candidate services, heaviest affinity first.
+  std::vector<int> services;
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    if (!options.affinity_services_only ||
+        cluster.affinity().Degree(s) > 0) {
+      services.push_back(s);
+    }
+  }
+  std::sort(services.begin(), services.end(), [&](int a, int b) {
+    return cluster.affinity().TotalAffinityOf(a) >
+           cluster.affinity().TotalAffinityOf(b);
+  });
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    ++stats.passes;
+    bool improved = false;
+    for (int s : services) {
+      if (options.deadline.Expired()) {
+        stats.hit_deadline = true;
+        return stats;
+      }
+      // Snapshot the hosting machines (mutated during the loop).
+      std::vector<int> hosts;
+      for (const auto& [m, count] : placement.MachinesOf(s)) hosts.push_back(m);
+      for (int from : hosts) {
+        if (placement.CountOn(from, s) == 0) continue;
+        const double removal_loss = -DeltaOne(cluster, placement, s, from, -1);
+        // Best destination by move delta; remember the best capacity-blocked
+        // destination for the swap fallback.
+        int best_to = -1;
+        double best_delta = kTol;
+        int blocked_to = -1;
+        double blocked_delta = kTol;
+        for (int to = 0; to < cluster.num_machines(); ++to) {
+          if (to == from || !cluster.CanHost(to, s)) continue;
+          const double delta =
+              DeltaOne(cluster, placement, s, to, +1) - removal_loss;
+          if (delta <= kTol) continue;
+          if (placement.CanPlace(to, s)) {
+            if (delta > best_delta) {
+              best_delta = delta;
+              best_to = to;
+            }
+          } else if (options.enable_swaps && delta > blocked_delta) {
+            blocked_delta = delta;
+            blocked_to = to;
+          }
+        }
+        if (best_to >= 0) {
+          RASA_CHECK(placement.Remove(from, s).ok());
+          placement.Add(best_to, s);
+          ++stats.moves_applied;
+          stats.gain += best_delta;
+          improved = true;
+          continue;
+        }
+        if (blocked_to < 0) continue;
+
+        // Swap fallback: evict one resident container from the blocked
+        // target onto `from` (whose capacity the departing container
+        // frees), measuring the exact delta over the affected edges.
+        const int to = blocked_to;
+        std::vector<int> residents;
+        for (const auto& [t, count] : placement.ServicesOn(to)) {
+          (void)count;
+          if (t != s && cluster.CanHost(from, t)) residents.push_back(t);
+        }
+        for (int t : residents) {
+          const double before = IncidentObjective(cluster, placement, s, t);
+          RASA_CHECK(placement.Remove(from, s).ok());
+          RASA_CHECK(placement.Remove(to, t).ok());
+          if (!placement.CanPlace(to, s) || !placement.CanPlace(from, t)) {
+            placement.Add(from, s);
+            placement.Add(to, t);
+            continue;
+          }
+          placement.Add(to, s);
+          placement.Add(from, t);
+          const double after = IncidentObjective(cluster, placement, s, t);
+          if (after - before > kTol) {
+            ++stats.swaps_applied;
+            stats.gain += after - before;
+            improved = true;
+            break;
+          }
+          // Revert.
+          RASA_CHECK(placement.Remove(to, s).ok());
+          RASA_CHECK(placement.Remove(from, t).ok());
+          placement.Add(from, s);
+          placement.Add(to, t);
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return stats;
+}
+
+}  // namespace rasa

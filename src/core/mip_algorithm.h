@@ -1,0 +1,66 @@
+#ifndef RASA_CORE_MIP_ALGORITHM_H_
+#define RASA_CORE_MIP_ALGORITHM_H_
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "common/timer.h"
+#include "core/subproblem.h"
+#include "lp/model.h"
+
+namespace rasa {
+
+struct MipAlgorithmOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// Refuse to build models bigger than this many constraint rows: the
+  /// dense-basis simplex would neither fit in memory nor finish a single
+  /// relaxation, which the benches report as OOT (the NO-PARTITION
+  /// behaviour of §V-B).
+  int max_model_rows = 2000;
+  double relative_gap = 1e-4;
+  uint64_t seed = 11;
+};
+
+/// Builds the MIP of expressions (2)-(9) restricted to a subproblem:
+/// integer x_{s,m} per (service, machine), continuous a_{e,m} per
+/// (affinity edge, machine) with the two min-linearization rows, residual
+/// resource capacities, residual anti-affinity limits, and schedulability
+/// bounds. The SLA row is relaxed to sum_m x_{s,m} <= d_s — the paper
+/// tolerates failed deployments, which the default scheduler absorbs.
+///
+/// `x_index(i, j)` of the returned mapping gives the column of service
+/// subproblem.services[i] on machine subproblem.machines[j].
+struct SubproblemMip {
+  LpModel model;
+  std::vector<std::vector<int>> x_index;  // [service_local][machine_local]
+};
+StatusOr<SubproblemMip> BuildSubproblemMip(const Cluster& cluster,
+                                           const Subproblem& subproblem,
+                                           const Placement& base,
+                                           int max_model_rows);
+
+/// The MIP-based pool algorithm (§IV-C1): greedy warm start, then LP-based
+/// branch-and-bound until optimal or deadline. `base` holds the trivial
+/// residents and is NOT modified. Fails with kResourceExhausted when the
+/// model exceeds `max_model_rows` (reported as OOT upstream).
+StatusOr<SubproblemSolution> SolveSubproblemMip(
+    const Cluster& cluster, const Subproblem& subproblem,
+    const Placement& base, const MipAlgorithmOptions& options = {});
+
+/// The grouped variant of the RASA MIP, following the paper's formulation
+/// literally: gained-affinity variables a_{s,s',g} are indexed by machine
+/// *groups* g in F (machines with the same spec and platform), and the
+/// resource/anti-affinity rows aggregate each group's residuals. This cuts
+/// the model size by ~|group| but (a) the objective over-counts collocation
+/// across a group's machines, and (b) the group solution must be
+/// disaggregated onto real machines afterwards, where some of the predicted
+/// affinity is lost. SolveSubproblemMipGrouped performs both steps and
+/// reports the *realized* gained affinity. The ablation bench quantifies
+/// this trade-off against the per-machine model.
+StatusOr<SubproblemSolution> SolveSubproblemMipGrouped(
+    const Cluster& cluster, const Subproblem& subproblem,
+    const Placement& base, const MipAlgorithmOptions& options = {});
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_MIP_ALGORITHM_H_

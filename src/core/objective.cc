@@ -1,0 +1,63 @@
+#include "core/objective.h"
+
+#include <algorithm>
+
+namespace rasa {
+
+double PairGainedAffinityOnMachine(const Cluster& cluster,
+                                   const Placement& placement, int s,
+                                   int s_prime, double weight, int machine) {
+  const int d_s = cluster.service(s).demand;
+  const int d_sp = cluster.service(s_prime).demand;
+  if (d_s <= 0 || d_sp <= 0) return 0.0;
+  const int x_s = placement.CountOn(machine, s);
+  if (x_s == 0) return 0.0;
+  const int x_sp = placement.CountOn(machine, s_prime);
+  if (x_sp == 0) return 0.0;
+  return weight * std::min(static_cast<double>(x_s) / d_s,
+                           static_cast<double>(x_sp) / d_sp);
+}
+
+double PairLocalizationRatio(const Cluster& cluster,
+                             const Placement& placement, int s, int s_prime) {
+  const int d_s = cluster.service(s).demand;
+  const int d_sp = cluster.service(s_prime).demand;
+  if (d_s <= 0 || d_sp <= 0) return 0.0;
+  // Iterate the smaller footprint's machines.
+  const auto& machines_s = placement.MachinesOf(s);
+  const auto& machines_sp = placement.MachinesOf(s_prime);
+  const auto& outer = machines_s.size() <= machines_sp.size() ? machines_s
+                                                              : machines_sp;
+  const int other = machines_s.size() <= machines_sp.size() ? s_prime : s;
+  double ratio = 0.0;
+  for (const auto& [m, count] : outer) {
+    const int x_other = placement.CountOn(m, other);
+    if (x_other == 0) continue;
+    const int x_s = other == s_prime ? count : x_other;
+    const int x_sp = other == s_prime ? x_other : count;
+    ratio += std::min(static_cast<double>(x_s) / d_s,
+                      static_cast<double>(x_sp) / d_sp);
+  }
+  return std::min(ratio, 1.0);
+}
+
+double GainedAffinity(const Cluster& cluster, const Placement& placement) {
+  double total = 0.0;
+  for (const AffinityEdge& e : cluster.affinity().edges()) {
+    total += e.weight * PairLocalizationRatio(cluster, placement, e.u, e.v);
+  }
+  return total;
+}
+
+std::vector<double> EdgeLocalizationRatios(const Cluster& cluster,
+                                           const Placement& placement) {
+  const auto& edges = cluster.affinity().edges();
+  std::vector<double> ratios(edges.size(), 0.0);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    ratios[i] =
+        PairLocalizationRatio(cluster, placement, edges[i].u, edges[i].v);
+  }
+  return ratios;
+}
+
+}  // namespace rasa

@@ -1,0 +1,35 @@
+#ifndef RASA_CORE_OBJECTIVE_H_
+#define RASA_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+
+namespace rasa {
+
+/// Gained affinity of a single service pair on one machine (Definition 1):
+///   a_{s,s',m} = w * min(x_{s,m}/d_s, x_{s',m}/d_{s'}).
+/// Services with zero demand contribute nothing.
+double PairGainedAffinityOnMachine(const Cluster& cluster,
+                                   const Placement& placement, int s,
+                                   int s_prime, double weight, int machine);
+
+/// Localized traffic ratio of edge (s, s'): sum over machines of
+/// min(x_{s,m}/d_s, x_{s',m}/d_{s'}) in [0, 1]. The fraction of this pair's
+/// traffic that stays on-machine (the red dashed share of Fig. 2).
+double PairLocalizationRatio(const Cluster& cluster,
+                             const Placement& placement, int s, int s_prime);
+
+/// Overall gained affinity: the RASA objective (2). With the affinity graph
+/// normalized to total weight 1, this lies in [0, 1].
+double GainedAffinity(const Cluster& cluster, const Placement& placement);
+
+/// Localization ratio per affinity edge, index-aligned with
+/// cluster.affinity().edges(). Used by the production simulator.
+std::vector<double> EdgeLocalizationRatios(const Cluster& cluster,
+                                           const Placement& placement);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_OBJECTIVE_H_

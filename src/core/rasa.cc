@@ -1,0 +1,193 @@
+#include "core/rasa.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/greedy.h"
+#include "core/local_search.h"
+#include "core/objective.h"
+
+namespace rasa {
+namespace {
+
+// Default-scheduler fallback: least-allocated filter-and-score placement of
+// one container; returns the machine used or -1.
+int FallbackPlaceOne(const Cluster& cluster, Placement& working, int service) {
+  int best = -1;
+  double best_score = -1e300;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    if (!working.CanPlace(m, service)) continue;
+    double min_free_frac = 1.0;
+    for (int r = 0; r < cluster.num_resources(); ++r) {
+      const double cap = cluster.machine(m).capacity[r];
+      if (cap <= 0.0) continue;
+      min_free_frac = std::min(min_free_frac,
+                               working.FreeResource(m, r) / cap);
+    }
+    if (min_free_frac > best_score) {
+      best_score = min_free_frac;
+      best = m;
+    }
+  }
+  if (best >= 0) working.Add(best, service);
+  return best;
+}
+
+}  // namespace
+
+StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
+                                             const Placement& current) const {
+  Stopwatch timer;
+  const Deadline deadline = Deadline::AfterSeconds(options_.timeout_seconds);
+  Rng rng(options_.seed);
+
+  RasaResult result;
+  result.original_gained_affinity = GainedAffinity(cluster, current);
+
+  // Phase 1: service partitioning + machine assignment.
+  PartitionResult partition =
+      PartitionServices(cluster, current, options_.partitioning);
+  result.partition_stats = partition.stats;
+
+  // Phase 2: per-subproblem algorithm selection + independent solves,
+  // highest internal affinity first so the deadline starves only the tail.
+  std::vector<int> order(partition.subproblems.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return partition.subproblems[a].internal_affinity >
+           partition.subproblems[b].internal_affinity;
+  });
+
+  Placement working = partition.base_placement;
+  std::vector<int> unplaced(cluster.num_services(), 0);
+  double remaining_affinity = 0.0;
+  for (const Subproblem& sp : partition.subproblems) {
+    remaining_affinity += sp.internal_affinity;
+  }
+
+  for (int idx : order) {
+    const Subproblem& sp = partition.subproblems[idx];
+    SubproblemReport report;
+    report.num_services = static_cast<int>(sp.services.size());
+    report.num_machines = static_cast<int>(sp.machines.size());
+    report.internal_affinity = sp.internal_affinity;
+
+    Stopwatch sp_timer;
+    // Affinity-weighted share of the remaining budget, floored so even
+    // zero-affinity subproblems get a sliver, and capped so a single solve
+    // cannot starve the rest of the queue.
+    const double remaining_time = deadline.RemainingSeconds();
+    const size_t solved = result.subproblems.size();
+    const size_t left = partition.subproblems.size() - solved;
+    double share = remaining_affinity > 1e-12
+                       ? sp.internal_affinity / remaining_affinity
+                       : 1.0 / std::max<size_t>(1, left);
+    const double reserve = 0.02 * static_cast<double>(left > 0 ? left - 1 : 0);
+    const double budget = std::max(
+        0.02, std::min(remaining_time - reserve, remaining_time * share));
+    remaining_affinity -= sp.internal_affinity;
+    const Deadline sp_deadline = deadline.ClampedToSeconds(budget);
+
+    report.algorithm = selector_.Select(cluster, sp);
+    StatusOr<SubproblemSolution> solution =
+        deadline.Expired()
+            ? StatusOr<SubproblemSolution>(
+                  DeadlineExceededError("global budget exhausted"))
+            : RunPoolAlgorithm(report.algorithm, cluster, sp,
+                               partition.base_placement, current, sp_deadline,
+                               rng.Next());
+    if (!solution.ok()) {
+      report.failed = true;
+      RASA_LOG(Info) << "subproblem " << idx << " ("
+                     << PoolAlgorithmToString(report.algorithm)
+                     << ") failed: " << solution.status().ToString()
+                     << "; using affinity greedy";
+      // Affinity-aware greedy fallback: far better than scattering the
+      // containers through the default scheduler.
+      SubproblemSolution greedy = GreedyAffinityPlace(cluster, sp, working);
+      report.gained_affinity = greedy.gained_affinity;
+      report.unplaced_containers = greedy.unplaced_containers;
+      std::vector<int> placed(cluster.num_services(), 0);
+      for (const SubproblemSolution::Assignment& a : greedy.assignments) {
+        placed[a.service] += a.count;  // greedy already added to `working`
+      }
+      for (int s : sp.services) {
+        unplaced[s] += cluster.service(s).demand - placed[s];
+      }
+    } else {
+      // Apply the assignments to the working placement; defensively skip
+      // anything that no longer fits.
+      std::vector<int> placed(cluster.num_services(), 0);
+      for (const SubproblemSolution::Assignment& a : solution->assignments) {
+        if (working.CanPlace(a.machine, a.service, a.count)) {
+          working.Add(a.machine, a.service, a.count);
+          placed[a.service] += a.count;
+        } else {
+          // Try placing as many as fit.
+          int fit = 0;
+          while (fit < a.count && working.CanPlace(a.machine, a.service)) {
+            working.Add(a.machine, a.service);
+            ++fit;
+          }
+          placed[a.service] += fit;
+        }
+      }
+      for (int s : sp.services) {
+        unplaced[s] += cluster.service(s).demand - placed[s];
+      }
+      report.gained_affinity = solution->gained_affinity;
+      report.unplaced_containers = solution->unplaced_containers;
+    }
+    report.seconds = sp_timer.ElapsedSeconds();
+    result.subproblems.push_back(report);
+  }
+
+  // Combine: default-scheduler fallback for unplaced crucial containers.
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    for (int c = 0; c < unplaced[s]; ++c) {
+      if (FallbackPlaceOne(cluster, working, s) < 0) {
+        ++result.lost_containers;
+      }
+    }
+  }
+
+  // Optional extension: local-search refinement with the leftover budget.
+  if (options_.refine_with_local_search && !deadline.Expired()) {
+    LocalSearchOptions ls;
+    ls.deadline = deadline;
+    ls.seed = rng.Next();
+    RefinePlacement(cluster, working, ls);
+  }
+
+  result.new_gained_affinity = GainedAffinity(cluster, working);
+  result.moved_containers = working.DiffCount(current);
+
+  // Dry-run rule (§III-B): execute only on >= min_improvement relative gain.
+  const double base = std::max(result.original_gained_affinity, 1e-9);
+  const double improvement =
+      (result.new_gained_affinity - result.original_gained_affinity) / base;
+  result.should_execute = improvement >= options_.min_improvement;
+
+  // Phase 3: migration path.
+  if (options_.compute_migration && result.should_execute) {
+    StatusOr<MigrationPlan> plan =
+        ComputeMigrationPath(cluster, current, working, options_.migration);
+    if (plan.ok()) {
+      result.migration = std::move(plan).value();
+    } else {
+      RASA_LOG(Warning) << "migration path failed: "
+                        << plan.status().ToString()
+                        << "; marking run as dry-run";
+      result.should_execute = false;
+    }
+  }
+
+  result.new_placement = std::move(working);
+  result.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rasa

@@ -1,0 +1,85 @@
+#ifndef RASA_CORE_RASA_H_
+#define RASA_CORE_RASA_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "core/migration.h"
+#include "core/partitioning.h"
+#include "core/selector.h"
+
+namespace rasa {
+
+/// Top-level options of the RASA algorithm (§IV-A).
+struct RasaOptions {
+  PartitioningOptions partitioning;
+  /// Global time budget: the scaled stand-in for the paper's one-minute SLO.
+  double timeout_seconds = 2.0;
+  /// Dry-run threshold (§III-B): only produce a migration plan when gained
+  /// affinity improves by at least this relative amount.
+  double min_improvement = 0.03;
+  /// Skip migration-path computation entirely (quality-only experiments).
+  bool compute_migration = true;
+  MigrationOptions migration;
+  /// Extension beyond the paper: after combining subproblem solutions, run
+  /// hill-climbing container moves/swaps with whatever global budget
+  /// remains. Off by default to keep the paper-faithful pipeline.
+  bool refine_with_local_search = false;
+  uint64_t seed = 42;
+};
+
+/// Per-subproblem record for reporting and ablation benches.
+struct SubproblemReport {
+  int num_services = 0;
+  int num_machines = 0;
+  double internal_affinity = 0.0;
+  PoolAlgorithm algorithm = PoolAlgorithm::kCg;
+  double gained_affinity = 0.0;
+  int unplaced_containers = 0;
+  double seconds = 0.0;
+  bool failed = false;  // solver error / model too large (OOT)
+};
+
+struct RasaResult {
+  Placement new_placement;
+  /// Empty when the run dry-runs (improvement below threshold) or when
+  /// compute_migration is off.
+  MigrationPlan migration;
+  bool should_execute = false;
+
+  double original_gained_affinity = 0.0;
+  double new_gained_affinity = 0.0;
+  double elapsed_seconds = 0.0;
+  /// Containers that could not be placed anywhere (left offline; should be
+  /// zero with default generator headroom).
+  int lost_containers = 0;
+  int moved_containers = 0;
+
+  PartitionStats partition_stats;
+  std::vector<SubproblemReport> subproblems;
+};
+
+/// The full RASA algorithm: multi-stage service partitioning, per-subproblem
+/// algorithm selection, independent solves, solution combination with a
+/// default-scheduler fallback for unplaced containers, and the migration
+/// path to transition from `current` to the optimized mapping.
+class RasaOptimizer {
+ public:
+  RasaOptimizer(RasaOptions options, AlgorithmSelector selector)
+      : options_(std::move(options)), selector_(std::move(selector)) {}
+
+  StatusOr<RasaResult> Optimize(const Cluster& cluster,
+                                const Placement& current) const;
+
+  const RasaOptions& options() const { return options_; }
+
+ private:
+  RasaOptions options_;
+  AlgorithmSelector selector_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_RASA_H_

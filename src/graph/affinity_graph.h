@@ -1,0 +1,79 @@
+#ifndef RASA_GRAPH_AFFINITY_GRAPH_H_
+#define RASA_GRAPH_AFFINITY_GRAPH_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace rasa {
+
+/// One weighted undirected edge of an affinity graph.
+struct AffinityEdge {
+  int u = 0;
+  int v = 0;
+  double weight = 0.0;
+};
+
+/// Weighted undirected graph over services (paper §II-B). Vertices are dense
+/// ids [0, num_vertices). Parallel edges are merged by accumulating weight;
+/// self-loops are rejected (a service has no affinity with itself).
+class AffinityGraph {
+ public:
+  AffinityGraph() = default;
+  explicit AffinityGraph(int num_vertices) : adjacency_(num_vertices) {}
+
+  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds (or accumulates onto) edge {u, v}. Weight must be positive.
+  Status AddEdge(int u, int v, double weight);
+
+  const std::vector<AffinityEdge>& edges() const { return edges_; }
+
+  /// Neighbors of `v` as (neighbor, weight) pairs.
+  const std::vector<std::pair<int, double>>& Neighbors(int v) const {
+    return adjacency_[v];
+  }
+
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// Weight of edge {u, v}, or 0 if absent.
+  double EdgeWeight(int u, int v) const;
+
+  /// T(s): sum of incident edge weights (paper §IV-B2).
+  double TotalAffinityOf(int v) const;
+
+  /// Sum of all edge weights.
+  double TotalWeight() const;
+
+  /// Divides all weights so TotalWeight() == 1 (paper normalizes total
+  /// affinity to 1.0). No-op on an empty graph.
+  void NormalizeWeights();
+
+  /// Subgraph induced by `vertices`; `vertices[i]` becomes new id i.
+  AffinityGraph InducedSubgraph(const std::vector<int>& vertices) const;
+
+  /// Connected component id per vertex (ids are dense, 0-based) and count.
+  std::vector<int> ConnectedComponents(int* num_components = nullptr) const;
+
+  /// Total weight of edges whose endpoints are in different parts.
+  double CutWeight(const std::vector<int>& part_of_vertex) const;
+
+ private:
+  std::vector<AffinityEdge> edges_;
+  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+};
+
+/// Generates a graph with power-law total-affinity skew (Assumption 4.1):
+/// vertex s gets total affinity ~ 1/(s+1)^beta (weights fitted by Sinkhorn
+/// scaling); edges attach preferentially to low-index (heavy) vertices.
+/// `max_degree` > 0 caps each vertex's neighbor count — real microservice
+/// call graphs have bounded fan-out even for the hottest services.
+AffinityGraph GeneratePowerLawGraph(int num_vertices, int num_edges,
+                                    double beta, Rng& rng,
+                                    int max_degree = 0);
+
+}  // namespace rasa
+
+#endif  // RASA_GRAPH_AFFINITY_GRAPH_H_

@@ -1,0 +1,94 @@
+#include "graph/powerlaw_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rasa {
+namespace {
+
+// Simple linear regression y = a + b x; returns {a, b, r^2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+
+LinearFit Regress(const std::vector<double>& xs, const std::vector<double>& ys) {
+  LinearFit fit;
+  const size_t n = xs.size();
+  if (n < 2) return fit;
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+}  // namespace
+
+DecayFit FitPowerLaw(const std::vector<double>& values) {
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= 0.0) continue;
+    xs.push_back(std::log(static_cast<double>(i + 1)));
+    ys.push_back(std::log(values[i]));
+  }
+  const LinearFit lin = Regress(xs, ys);
+  DecayFit fit;
+  fit.scale = std::exp(lin.intercept);
+  fit.exponent = -lin.slope;
+  fit.r_squared = lin.r_squared;
+  return fit;
+}
+
+DecayFit FitExponential(const std::vector<double>& values) {
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= 0.0) continue;
+    xs.push_back(static_cast<double>(i + 1));
+    ys.push_back(std::log(values[i]));
+  }
+  const LinearFit lin = Regress(xs, ys);
+  DecayFit fit;
+  fit.scale = std::exp(lin.intercept);
+  fit.exponent = -lin.slope;
+  fit.r_squared = lin.r_squared;
+  return fit;
+}
+
+std::vector<double> SortedTotalAffinities(const AffinityGraph& graph) {
+  std::vector<double> totals(graph.num_vertices());
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    totals[v] = graph.TotalAffinityOf(v);
+  }
+  std::sort(totals.begin(), totals.end(), std::greater<double>());
+  return totals;
+}
+
+double TopKAffinityShare(const AffinityGraph& graph, int k) {
+  const std::vector<double> totals = SortedTotalAffinities(graph);
+  double all = 0.0;
+  double top = 0.0;
+  for (size_t i = 0; i < totals.size(); ++i) {
+    all += totals[i];
+    if (static_cast<int>(i) < k) top += totals[i];
+  }
+  return all > 0.0 ? top / all : 0.0;
+}
+
+}  // namespace rasa

@@ -1,0 +1,34 @@
+#ifndef RASA_GRAPH_POWERLAW_FIT_H_
+#define RASA_GRAPH_POWERLAW_FIT_H_
+
+#include <vector>
+
+#include "graph/affinity_graph.h"
+
+namespace rasa {
+
+/// Least-squares fit of a decay law to a rank-ordered positive series
+/// (Fig. 5: fitting the total-affinity distribution of services).
+struct DecayFit {
+  double scale = 0.0;     // C
+  double exponent = 0.0;  // beta (power law) or lambda (exponential)
+  double r_squared = 0.0; // goodness of fit in the transformed space
+};
+
+/// Fits y(s) = C * s^(-beta) to values[i] at rank s = i+1 by linear
+/// regression in log-log space. Non-positive values are skipped.
+DecayFit FitPowerLaw(const std::vector<double>& values);
+
+/// Fits y(s) = C * exp(-lambda * s) by linear regression in semi-log space.
+DecayFit FitExponential(const std::vector<double>& values);
+
+/// Rank-ordered (descending) total affinities T(s) of all vertices.
+std::vector<double> SortedTotalAffinities(const AffinityGraph& graph);
+
+/// Fraction of total affinity carried by the top `k` services by T(s)
+/// (the skewness statistic motivating master partitioning).
+double TopKAffinityShare(const AffinityGraph& graph, int k);
+
+}  // namespace rasa
+
+#endif  // RASA_GRAPH_POWERLAW_FIT_H_

@@ -1,0 +1,141 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace rasa {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Random(int rows, int cols, double scale, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data_) v = rng.NextDouble(-scale, scale);
+  return m;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  for (int i = 0; i < rows_; ++i) {
+    const double* a_row = &data_[static_cast<size_t>(i) * cols_];
+    double* o_row = &out.data_[static_cast<size_t>(i) * other.cols_];
+    for (int k = 0; k < cols_; ++k) {
+      const double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = &other.data_[static_cast<size_t>(k) * other.cols_];
+      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+Matrix& Matrix::AddInPlace(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::SubInPlace(const Matrix& other) {
+  assert(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::ScaleInPlace(double factor) {
+  for (double& v : data_) v *= factor;
+  return *this;
+}
+
+Matrix& Matrix::AddRowBroadcast(const Matrix& row_vector) {
+  assert(row_vector.rows_ == 1 && row_vector.cols_ == cols_);
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) (*this)(i, j) += row_vector(0, j);
+  return *this;
+}
+
+Matrix Matrix::Relu() const {
+  Matrix out = *this;
+  for (double& v : out.data_) v = std::max(0.0, v);
+  return out;
+}
+
+Matrix Matrix::ReluMask() const {
+  Matrix out(rows_, cols_);
+  for (size_t i = 0; i < data_.size(); ++i)
+    out.data_[i] = data_[i] > 0.0 ? 1.0 : 0.0;
+  return out;
+}
+
+Matrix Matrix::Hadamard(const Matrix& other) const {
+  assert(SameShape(other));
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] *= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::SoftmaxRows() const {
+  Matrix out(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) {
+    double max_v = -1e300;
+    for (int j = 0; j < cols_; ++j) max_v = std::max(max_v, (*this)(i, j));
+    double sum = 0.0;
+    for (int j = 0; j < cols_; ++j) {
+      out(i, j) = std::exp((*this)(i, j) - max_v);
+      sum += out(i, j);
+    }
+    for (int j = 0; j < cols_; ++j) out(i, j) /= sum;
+  }
+  return out;
+}
+
+Matrix Matrix::MeanRows() const {
+  Matrix out(1, cols_);
+  if (rows_ == 0) return out;
+  for (int i = 0; i < rows_; ++i)
+    for (int j = 0; j < cols_; ++j) out(0, j) += (*this)(i, j);
+  out.ScaleInPlace(1.0 / rows_);
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [";
+  for (int i = 0; i < std::min(rows_, 4); ++i) {
+    os << (i ? "; " : "");
+    for (int j = 0; j < std::min(cols_, 6); ++j)
+      os << (j ? " " : "") << (*this)(i, j);
+    if (cols_ > 6) os << " ...";
+  }
+  if (rows_ > 4) os << "; ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace rasa

@@ -1,0 +1,85 @@
+#ifndef RASA_LINALG_MATRIX_H_
+#define RASA_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rasa {
+
+/// Dense row-major matrix of doubles. Sized for the small models used by the
+/// GCN/MLP classifiers (tens to a few thousand rows); no BLAS required.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  static Matrix Identity(int n);
+  /// Entries ~ U(-scale, scale); used for Xavier-style init.
+  static Matrix Random(int rows, int cols, double scale, class Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double& operator()(int r, int c) {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    assert(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// this * other. Requires cols() == other.rows().
+  Matrix MatMul(const Matrix& other) const;
+  Matrix Transpose() const;
+
+  Matrix& AddInPlace(const Matrix& other);
+  Matrix& SubInPlace(const Matrix& other);
+  Matrix& ScaleInPlace(double factor);
+
+  /// Adds `row_vector` (1 x cols) to every row; the bias broadcast.
+  Matrix& AddRowBroadcast(const Matrix& row_vector);
+
+  /// Element-wise max(0, x).
+  Matrix Relu() const;
+  /// 1 where x > 0 else 0 (ReLU derivative mask).
+  Matrix ReluMask() const;
+  /// Element-wise product.
+  Matrix Hadamard(const Matrix& other) const;
+
+  /// Row-wise softmax (numerically stable).
+  Matrix SoftmaxRows() const;
+
+  /// 1 x cols matrix of column means (the mean-pooling graph readout).
+  Matrix MeanRows() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+  /// Square root of the sum of squared entries.
+  double FrobeniusNorm() const;
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  std::string DebugString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_LINALG_MATRIX_H_

@@ -1,0 +1,150 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace rasa {
+
+int LpModel::AddVariable(double lower, double upper, double objective,
+                         std::string name) {
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(objective);
+  integer_.push_back(false);
+  if (name.empty()) name = StrFormat("x%d", num_variables() - 1);
+  var_names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+void LpModel::SetInteger(int variable, bool is_integer) {
+  integer_[variable] = is_integer;
+}
+
+int LpModel::AddConstraint(ConstraintType type, double rhs,
+                           std::vector<LinearTerm> terms, std::string name) {
+  // Accumulate duplicate variables so downstream code sees each column once.
+  std::sort(terms.begin(), terms.end(),
+            [](const LinearTerm& a, const LinearTerm& b) {
+              return a.variable < b.variable;
+            });
+  std::vector<LinearTerm> merged;
+  for (const LinearTerm& t : terms) {
+    if (!merged.empty() && merged.back().variable == t.variable) {
+      merged.back().coefficient += t.coefficient;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const LinearTerm& t) {
+                                return t.coefficient == 0.0;
+                              }),
+               merged.end());
+  types_.push_back(type);
+  rhs_.push_back(rhs);
+  rows_.push_back(std::move(merged));
+  if (name.empty()) name = StrFormat("c%d", num_constraints() - 1);
+  row_names_.push_back(std::move(name));
+  return num_constraints() - 1;
+}
+
+void LpModel::SetObjectiveCoefficient(int variable, double coefficient) {
+  objective_[variable] = coefficient;
+}
+
+void LpModel::SetBounds(int variable, double lower, double upper) {
+  lower_[variable] = lower;
+  upper_[variable] = upper;
+}
+
+int LpModel::num_integer_variables() const {
+  return static_cast<int>(std::count(integer_.begin(), integer_.end(), true));
+}
+
+double LpModel::ObjectiveValue(const std::vector<double>& solution) const {
+  double value = 0.0;
+  for (int v = 0; v < num_variables(); ++v) value += objective_[v] * solution[v];
+  return value;
+}
+
+Status LpModel::CheckFeasible(const std::vector<double>& solution,
+                              double tolerance) const {
+  if (static_cast<int>(solution.size()) != num_variables()) {
+    return InvalidArgumentError(
+        StrFormat("solution has %zu entries, model has %d variables",
+                  solution.size(), num_variables()));
+  }
+  for (int v = 0; v < num_variables(); ++v) {
+    if (solution[v] < lower_[v] - tolerance ||
+        solution[v] > upper_[v] + tolerance) {
+      return FailedPreconditionError(
+          StrFormat("variable %s=%g outside bounds [%g, %g]",
+                    var_names_[v].c_str(), solution[v], lower_[v], upper_[v]));
+    }
+    if (integer_[v] &&
+        std::abs(solution[v] - std::round(solution[v])) > tolerance) {
+      return FailedPreconditionError(StrFormat(
+          "integer variable %s=%g is fractional", var_names_[v].c_str(),
+          solution[v]));
+    }
+  }
+  for (int c = 0; c < num_constraints(); ++c) {
+    double lhs = 0.0;
+    for (const LinearTerm& t : rows_[c]) {
+      lhs += t.coefficient * solution[t.variable];
+    }
+    bool ok = true;
+    switch (types_[c]) {
+      case ConstraintType::kLessEqual:
+        ok = lhs <= rhs_[c] + tolerance;
+        break;
+      case ConstraintType::kGreaterEqual:
+        ok = lhs >= rhs_[c] - tolerance;
+        break;
+      case ConstraintType::kEqual:
+        ok = std::abs(lhs - rhs_[c]) <= tolerance;
+        break;
+    }
+    if (!ok) {
+      return FailedPreconditionError(
+          StrFormat("constraint %s violated: lhs=%g rhs=%g",
+                    row_names_[c].c_str(), lhs, rhs_[c]));
+    }
+  }
+  return Status::OK();
+}
+
+Status LpModel::Validate() const {
+  for (int v = 0; v < num_variables(); ++v) {
+    if (std::isnan(lower_[v]) || std::isnan(upper_[v])) {
+      return InvalidArgumentError(StrFormat("variable %d has NaN bound", v));
+    }
+    if (lower_[v] > upper_[v]) {
+      return InvalidArgumentError(
+          StrFormat("variable %d has lower %g > upper %g", v, lower_[v],
+                    upper_[v]));
+    }
+  }
+  for (int c = 0; c < num_constraints(); ++c) {
+    if (!std::isfinite(rhs_[c])) {
+      return InvalidArgumentError(StrFormat("constraint %d has non-finite rhs", c));
+    }
+    for (const LinearTerm& t : rows_[c]) {
+      if (t.variable < 0 || t.variable >= num_variables()) {
+        return InvalidArgumentError(
+            StrFormat("constraint %d references unknown variable %d", c,
+                      t.variable));
+      }
+      if (!std::isfinite(t.coefficient)) {
+        return InvalidArgumentError(
+            StrFormat("constraint %d has non-finite coefficient", c));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rasa

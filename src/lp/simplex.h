@@ -1,0 +1,52 @@
+#ifndef RASA_LP_SIMPLEX_H_
+#define RASA_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/timer.h"
+#include "lp/model.h"
+
+namespace rasa {
+
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kDeadlineExceeded,
+  kError,
+};
+
+const char* LpStatusToString(LpStatus status);
+
+struct LpOptions {
+  /// Hard cap on simplex pivots across both phases. <= 0 means automatic
+  /// (scales with model size).
+  int max_iterations = 0;
+  Deadline deadline = Deadline::Infinite();
+  /// Feasibility / optimality tolerance.
+  double tolerance = 1e-7;
+};
+
+struct LpResult {
+  LpStatus status = LpStatus::kError;
+  /// Objective in the model's own sense (integrality ignored).
+  double objective = 0.0;
+  /// Value per model variable.
+  std::vector<double> primal;
+  /// Dual value per constraint, in the model's own sense: for every
+  /// variable, objective_j - sum_i dual_i * a_ij equals its reduced cost.
+  std::vector<double> dual;
+  /// Reduced cost per variable (model sense).
+  std::vector<double> reduced_costs;
+  int iterations = 0;
+};
+
+/// Solves the LP relaxation of `model` with a bounded-variable two-phase
+/// primal simplex (revised form with an explicit dense basis inverse).
+/// Integer markers on variables are ignored here.
+LpResult SolveLp(const LpModel& model, const LpOptions& options = {});
+
+}  // namespace rasa
+
+#endif  // RASA_LP_SIMPLEX_H_

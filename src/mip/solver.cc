@@ -1,0 +1,352 @@
+#include "mip/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace rasa {
+
+const char* MipStatusToString(MipStatus status) {
+  switch (status) {
+    case MipStatus::kOptimal:
+      return "OPTIMAL";
+    case MipStatus::kFeasible:
+      return "FEASIBLE";
+    case MipStatus::kInfeasible:
+      return "INFEASIBLE";
+    case MipStatus::kNoSolutionFound:
+      return "NO_SOLUTION_FOUND";
+    case MipStatus::kUnbounded:
+      return "UNBOUNDED";
+    case MipStatus::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+double MipResult::Gap() const {
+  if (!has_solution()) return std::numeric_limits<double>::infinity();
+  return std::abs(best_bound - objective) / std::max(1.0, std::abs(objective));
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct BoundChange {
+  int variable;
+  double lower;
+  double upper;
+};
+
+struct Node {
+  // Bound tightenings along the path from the root.
+  std::vector<BoundChange> changes;
+  // LP bound of the parent (model sense); used for best-bound ordering.
+  double bound;
+  int depth = 0;
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const LpModel& model, const MipOptions& options)
+      : model_(model), options_(options),
+        maximize_(model.objective_sense() == ObjectiveSense::kMaximize) {}
+
+  MipResult Solve();
+
+ private:
+  // Returns objective `a` expressed as "higher is better".
+  double Score(double objective) const {
+    return maximize_ ? objective : -objective;
+  }
+
+  bool IsIntegral(const std::vector<double>& x, int* branch_var) const;
+  void ApplyChanges(LpModel& scratch, const std::vector<BoundChange>& changes,
+                    bool undo) const;
+  void OfferIncumbent(const std::vector<double>& x, double objective);
+  // Fix-and-dive heuristic starting from an LP-feasible fractional point.
+  void Dive(LpModel& scratch, const Node& node,
+            const std::vector<double>& relaxation);
+
+  const LpModel& model_;
+  const MipOptions& options_;
+  const bool maximize_;
+
+  bool has_incumbent_ = false;
+  double incumbent_objective_ = 0.0;
+  std::vector<double> incumbent_;
+  int nodes_ = 0;
+  int lp_iterations_ = 0;
+};
+
+bool BranchAndBound::IsIntegral(const std::vector<double>& x,
+                                int* branch_var) const {
+  double worst = options_.integrality_tolerance;
+  int chosen = -1;
+  for (int v = 0; v < model_.num_variables(); ++v) {
+    if (!model_.is_integer(v)) continue;
+    const double frac = std::abs(x[v] - std::round(x[v]));
+    // Most-fractional branching: pick the variable closest to .5.
+    const double dist_to_half = std::abs(frac - 0.5);
+    if (frac > options_.integrality_tolerance) {
+      if (chosen < 0 || dist_to_half < worst) {
+        worst = dist_to_half;
+        chosen = v;
+      }
+    }
+  }
+  if (branch_var != nullptr) *branch_var = chosen;
+  return chosen < 0;
+}
+
+void BranchAndBound::ApplyChanges(LpModel& scratch,
+                                  const std::vector<BoundChange>& changes,
+                                  bool undo) const {
+  if (!undo) {
+    for (const BoundChange& ch : changes) {
+      // Intersect with existing bounds so nested tightenings compose.
+      const double lo = std::max(scratch.lower_bound(ch.variable), ch.lower);
+      const double hi = std::min(scratch.upper_bound(ch.variable), ch.upper);
+      scratch.SetBounds(ch.variable, lo, hi);
+    }
+  } else {
+    for (const BoundChange& ch : changes) {
+      scratch.SetBounds(ch.variable, model_.lower_bound(ch.variable),
+                        model_.upper_bound(ch.variable));
+    }
+  }
+}
+
+void BranchAndBound::OfferIncumbent(const std::vector<double>& x,
+                                    double objective) {
+  if (has_incumbent_ && Score(objective) <= Score(incumbent_objective_)) {
+    return;
+  }
+  // Round integer variables exactly before the final feasibility audit.
+  std::vector<double> snapped = x;
+  for (int v = 0; v < model_.num_variables(); ++v) {
+    if (model_.is_integer(v)) snapped[v] = std::round(snapped[v]);
+  }
+  if (!model_.CheckFeasible(snapped, 1e-5).ok()) return;
+  has_incumbent_ = true;
+  incumbent_ = snapped;
+  incumbent_objective_ = model_.ObjectiveValue(snapped);
+  if (options_.on_incumbent) {
+    options_.on_incumbent(incumbent_, incumbent_objective_);
+  }
+}
+
+void BranchAndBound::Dive(LpModel& scratch, const Node& node,
+                          const std::vector<double>& relaxation) {
+  // Iteratively fix the least-fractional integer variable to its nearest
+  // integer and re-solve; stop on integrality, infeasibility, or depth cap.
+  std::vector<BoundChange> fixes;
+  std::vector<double> x = relaxation;
+  const int max_depth = 2 * model_.num_integer_variables() + 8;
+  for (int step = 0; step < max_depth; ++step) {
+    if (options_.deadline.Expired()) break;
+    int dummy = -1;
+    if (IsIntegral(x, &dummy)) {
+      OfferIncumbent(x, model_.ObjectiveValue(x));
+      break;
+    }
+    // Least-fractional variable: cheapest to round without breaking the LP.
+    int pick = -1;
+    double best_frac = 2.0;
+    for (int v = 0; v < model_.num_variables(); ++v) {
+      if (!model_.is_integer(v)) continue;
+      const double frac = std::abs(x[v] - std::round(x[v]));
+      if (frac <= options_.integrality_tolerance) continue;
+      if (frac < best_frac) {
+        best_frac = frac;
+        pick = v;
+      }
+    }
+    if (pick < 0) break;
+    const double target = std::round(x[pick]);
+    fixes.push_back({pick, target, target});
+    ApplyChanges(scratch, {fixes.back()}, /*undo=*/false);
+    LpOptions lp_opts = options_.lp_options;
+    lp_opts.deadline = options_.deadline;
+    LpResult lp = SolveLp(scratch, lp_opts);
+    lp_iterations_ += lp.iterations;
+    if (lp.status != LpStatus::kOptimal) break;
+    x = lp.primal;
+  }
+  // Restore bounds touched by the dive back to this node's state.
+  ApplyChanges(scratch, fixes, /*undo=*/true);
+  ApplyChanges(scratch, node.changes, /*undo=*/false);
+}
+
+MipResult BranchAndBound::Solve() {
+  MipResult result;
+  Status valid = model_.Validate();
+  if (!valid.ok()) {
+    RASA_LOG(Warning) << "invalid MIP model: " << valid.ToString();
+    return result;
+  }
+
+  if (!options_.initial_solution.empty()) {
+    OfferIncumbent(options_.initial_solution,
+                   model_.ObjectiveValue(options_.initial_solution));
+  }
+
+  LpModel scratch = model_;
+  const int max_nodes = options_.max_nodes > 0
+                            ? options_.max_nodes
+                            : 40 * model_.num_integer_variables() + 2000;
+
+  // Best-bound first: explore the node with the most promising parent bound.
+  auto cmp = [this](const std::shared_ptr<Node>& a,
+                    const std::shared_ptr<Node>& b) {
+    if (Score(a->bound) != Score(b->bound)) {
+      return Score(a->bound) < Score(b->bound);
+    }
+    return a->depth < b->depth;  // deeper first on ties -> finds leaves
+  };
+  std::priority_queue<std::shared_ptr<Node>,
+                      std::vector<std::shared_ptr<Node>>, decltype(cmp)>
+      open(cmp);
+
+  auto root = std::make_shared<Node>();
+  root->bound = maximize_ ? kInf : -kInf;
+  open.push(root);
+
+  double best_open_bound = root->bound;
+  bool stopped_early = false;
+  bool root_unbounded = false;
+
+  while (!open.empty()) {
+    if (options_.deadline.Expired() || nodes_ >= max_nodes) {
+      stopped_early = true;
+      break;
+    }
+    std::shared_ptr<Node> node = open.top();
+    open.pop();
+    best_open_bound = node->bound;
+
+    // Bound-based pruning against the incumbent.
+    if (has_incumbent_) {
+      const double cutoff = Score(incumbent_objective_);
+      if (Score(node->bound) <= cutoff + 1e-9) continue;
+      if (std::abs(node->bound - incumbent_objective_) <=
+          options_.relative_gap *
+              std::max(1.0, std::abs(incumbent_objective_))) {
+        continue;
+      }
+    }
+
+    ++nodes_;
+    ApplyChanges(scratch, node->changes, /*undo=*/false);
+    LpOptions lp_opts = options_.lp_options;
+    lp_opts.deadline = options_.deadline;
+    LpResult lp = SolveLp(scratch, lp_opts);
+    lp_iterations_ += lp.iterations;
+
+    if (lp.status == LpStatus::kInfeasible) {
+      ApplyChanges(scratch, node->changes, /*undo=*/true);
+      continue;
+    }
+    if (lp.status == LpStatus::kUnbounded) {
+      ApplyChanges(scratch, node->changes, /*undo=*/true);
+      if (node->depth == 0) root_unbounded = true;
+      break;
+    }
+    if (lp.status != LpStatus::kOptimal) {
+      // Deadline or iteration limit inside the LP: cannot trust the bound.
+      ApplyChanges(scratch, node->changes, /*undo=*/true);
+      stopped_early = true;
+      if (options_.deadline.Expired()) break;
+      continue;
+    }
+
+    const double node_bound = lp.objective;
+    if (has_incumbent_ &&
+        Score(node_bound) <= Score(incumbent_objective_) + 1e-9) {
+      ApplyChanges(scratch, node->changes, /*undo=*/true);
+      continue;
+    }
+
+    int branch_var = -1;
+    if (IsIntegral(lp.primal, &branch_var)) {
+      OfferIncumbent(lp.primal, lp.objective);
+      ApplyChanges(scratch, node->changes, /*undo=*/true);
+      continue;
+    }
+
+    if (options_.dive_frequency > 0 &&
+        (nodes_ == 1 || nodes_ % options_.dive_frequency == 0)) {
+      Dive(scratch, *node, lp.primal);  // restores node bounds itself
+    }
+
+    // Clamp defensively: LP noise must never create an empty bound box.
+    const double value =
+        std::clamp(lp.primal[branch_var], scratch.lower_bound(branch_var),
+                   scratch.upper_bound(branch_var));
+    auto down = std::make_shared<Node>();
+    down->changes = node->changes;
+    down->changes.push_back({branch_var, -kInf, std::floor(value)});
+    down->bound = node_bound;
+    down->depth = node->depth + 1;
+    auto up = std::make_shared<Node>();
+    up->changes = node->changes;
+    up->changes.push_back({branch_var, std::ceil(value), kInf});
+    up->bound = node_bound;
+    up->depth = node->depth + 1;
+    open.push(down);
+    open.push(up);
+
+    ApplyChanges(scratch, node->changes, /*undo=*/true);
+  }
+
+  result.nodes_explored = nodes_;
+  result.lp_iterations = lp_iterations_;
+
+  if (root_unbounded && !has_incumbent_) {
+    result.status = MipStatus::kUnbounded;
+    return result;
+  }
+
+  if (has_incumbent_) {
+    result.solution = incumbent_;
+    result.objective = incumbent_objective_;
+    if (!stopped_early && open.empty()) {
+      result.status = MipStatus::kOptimal;
+      result.best_bound = incumbent_objective_;
+    } else {
+      result.status = MipStatus::kFeasible;
+      // The tightest open bound still bounds the optimum.
+      double bound = open.empty() ? best_open_bound : open.top()->bound;
+      if (!std::isfinite(bound)) bound = best_open_bound;
+      result.best_bound =
+          maximize_ ? std::max(bound, incumbent_objective_)
+                    : std::min(bound, incumbent_objective_);
+      if (!std::isfinite(result.best_bound)) {
+        result.best_bound = incumbent_objective_;
+      }
+      // Exhausting the tree without early stops proves optimality even if
+      // the last nodes were pruned by bound.
+      if (!stopped_early) result.status = MipStatus::kOptimal;
+    }
+  } else if (!stopped_early && open.empty()) {
+    result.status = MipStatus::kInfeasible;
+  } else {
+    result.status = MipStatus::kNoSolutionFound;
+    result.best_bound = best_open_bound;
+  }
+  return result;
+}
+
+}  // namespace
+
+MipResult SolveMip(const LpModel& model, const MipOptions& options) {
+  BranchAndBound solver(model, options);
+  return solver.Solve();
+}
+
+}  // namespace rasa

@@ -1,0 +1,70 @@
+#ifndef RASA_MIP_SOLVER_H_
+#define RASA_MIP_SOLVER_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/timer.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace rasa {
+
+enum class MipStatus {
+  kOptimal,           // proved optimal within gap tolerance
+  kFeasible,          // stopped early (deadline / node limit) with incumbent
+  kInfeasible,        // proved infeasible
+  kNoSolutionFound,   // stopped early without an incumbent
+  kUnbounded,
+  kError,
+};
+
+const char* MipStatusToString(MipStatus status);
+
+struct MipOptions {
+  Deadline deadline = Deadline::Infinite();
+  /// Stop when |best_bound - incumbent| <= gap * max(1, |incumbent|).
+  double relative_gap = 1e-6;
+  /// Hard cap on explored nodes. <= 0 means automatic.
+  int max_nodes = 0;
+  double integrality_tolerance = 1e-6;
+  /// Options forwarded to each node LP solve (deadline is overridden).
+  LpOptions lp_options;
+  /// Known feasible solution used as the initial incumbent / cutoff.
+  std::vector<double> initial_solution;
+  /// Invoked whenever a strictly better incumbent is found (anytime hook).
+  std::function<void(const std::vector<double>& solution, double objective)>
+      on_incumbent;
+  /// Every `dive_frequency`-th node additionally runs a fix-and-dive
+  /// heuristic to manufacture incumbents early. <= 0 disables diving.
+  int dive_frequency = 16;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::kError;
+  /// Objective of `solution` in the model's sense (valid unless
+  /// kNoSolutionFound / kInfeasible / kError).
+  double objective = 0.0;
+  /// Best proven bound on the optimum (model sense).
+  double best_bound = 0.0;
+  std::vector<double> solution;
+  int nodes_explored = 0;
+  int lp_iterations = 0;
+
+  bool has_solution() const {
+    return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
+  }
+  /// Relative optimality gap; 0 when proved optimal.
+  double Gap() const;
+};
+
+/// Solves the mixed-integer program `model` (variables marked via
+/// LpModel::SetInteger) with LP-relaxation branch-and-bound:
+/// best-bound node selection, most-fractional branching, and a periodic
+/// fix-and-dive rounding heuristic for early incumbents. Anytime: honors
+/// `deadline` and returns the best incumbent found so far.
+MipResult SolveMip(const LpModel& model, const MipOptions& options = {});
+
+}  // namespace rasa
+
+#endif  // RASA_MIP_SOLVER_H_

@@ -1,0 +1,30 @@
+#include "ml/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasa {
+
+void AdamOptimizer::Update(Matrix& param, const Matrix& grad) {
+  RASA_CHECK(param.SameShape(grad));
+  Moments& mom = state_[&param];
+  if (mom.m.size() == 0) {
+    mom.m = Matrix(param.rows(), param.cols());
+    mom.v = Matrix(param.rows(), param.cols());
+  }
+  const double bc1 = 1.0 - std::pow(beta1_, std::max(1, t_));
+  const double bc2 = 1.0 - std::pow(beta2_, std::max(1, t_));
+  for (int i = 0; i < param.rows(); ++i) {
+    for (int j = 0; j < param.cols(); ++j) {
+      const double g = grad(i, j);
+      mom.m(i, j) = beta1_ * mom.m(i, j) + (1.0 - beta1_) * g;
+      mom.v(i, j) = beta2_ * mom.v(i, j) + (1.0 - beta2_) * g * g;
+      const double m_hat = mom.m(i, j) / bc1;
+      const double v_hat = mom.v(i, j) / bc2;
+      param(i, j) -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+}  // namespace rasa

@@ -1,0 +1,42 @@
+#ifndef RASA_ML_ADAM_H_
+#define RASA_ML_ADAM_H_
+
+#include <unordered_map>
+
+#include "linalg/matrix.h"
+
+namespace rasa {
+
+/// Adam optimizer (Kingma & Ba). Keeps first/second-moment state per
+/// parameter matrix, keyed by the parameter's address, so one optimizer can
+/// drive a whole model. Call NextStep() once per optimization step, then
+/// Update() for each parameter.
+class AdamOptimizer {
+ public:
+  explicit AdamOptimizer(double learning_rate = 1e-2, double beta1 = 0.9,
+                         double beta2 = 0.999, double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  void NextStep() { ++t_; }
+
+  /// Applies one Adam update of `param` using `grad` (same shape).
+  void Update(Matrix& param, const Matrix& grad);
+
+  int step() const { return t_; }
+
+ private:
+  struct Moments {
+    Matrix m;
+    Matrix v;
+  };
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  int t_ = 0;
+  std::unordered_map<const Matrix*, Moments> state_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_ML_ADAM_H_

@@ -1,0 +1,36 @@
+#include "ml/feature_graph.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rasa {
+
+FeatureGraph MakeFeatureGraph(const AffinityGraph& graph, Matrix features) {
+  const int n = graph.num_vertices();
+  RASA_CHECK(features.rows() == n);
+  Matrix adj(n, n);
+  for (const AffinityEdge& e : graph.edges()) {
+    adj(e.u, e.v) = e.weight;
+    adj(e.v, e.u) = e.weight;
+  }
+  for (int i = 0; i < n; ++i) adj(i, i) += 1.0;  // self-loops
+  // Symmetric normalization.
+  std::vector<double> inv_sqrt_deg(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int j = 0; j < n; ++j) deg += adj(i, j);
+    inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      adj(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    }
+  }
+  FeatureGraph fg;
+  fg.a_hat = std::move(adj);
+  fg.features = std::move(features);
+  return fg;
+}
+
+}  // namespace rasa

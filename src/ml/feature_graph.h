@@ -1,0 +1,26 @@
+#ifndef RASA_ML_FEATURE_GRAPH_H_
+#define RASA_ML_FEATURE_GRAPH_H_
+
+#include "graph/affinity_graph.h"
+#include "linalg/matrix.h"
+
+namespace rasa {
+
+/// The classifier input of Definition 2: a graph with per-vertex features.
+/// `a_hat` is the symmetrically normalized adjacency with self-loops,
+/// D^{-1/2} (A + I) D^{-1/2}; `features` is n x f.
+struct FeatureGraph {
+  Matrix a_hat;
+  Matrix features;
+
+  int num_vertices() const { return features.rows(); }
+  int feature_dim() const { return features.cols(); }
+};
+
+/// Builds the normalized adjacency for a weighted graph plus the caller's
+/// feature matrix (must have graph.num_vertices() rows).
+FeatureGraph MakeFeatureGraph(const AffinityGraph& graph, Matrix features);
+
+}  // namespace rasa
+
+#endif  // RASA_ML_FEATURE_GRAPH_H_

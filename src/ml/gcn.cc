@@ -1,0 +1,331 @@
+#include "ml/gcn.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace rasa {
+namespace {
+
+Matrix XavierInit(int rows, int cols, Rng& rng) {
+  const double scale = std::sqrt(6.0 / (rows + cols));
+  return Matrix::Random(rows, cols, scale, rng);
+}
+
+// 1 x cols matrix of column sums.
+Matrix ColSums(const Matrix& m) {
+  Matrix out = m.MeanRows();
+  out.ScaleInPlace(static_cast<double>(m.rows()));
+  return out;
+}
+
+double CrossEntropy(const Matrix& probs, int label) {
+  return -std::log(std::max(probs(0, label), 1e-12));
+}
+
+void WriteMatrix(std::ostringstream& os, const Matrix& m) {
+  os << m.rows() << " " << m.cols();
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) os << " " << m(i, j);
+  }
+  os << "\n";
+}
+
+bool ReadMatrix(std::istream& is, Matrix& m) {
+  int rows = 0, cols = 0;
+  if (!(is >> rows >> cols) || rows < 0 || cols < 0) return false;
+  m = Matrix(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (!(is >> m(i, j))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+GcnClassifier::GcnClassifier(int in_dim, int hidden_dim, int num_classes,
+                             uint64_t seed) {
+  Rng rng(seed);
+  w0_ = XavierInit(in_dim, hidden_dim, rng);
+  b0_ = Matrix(1, hidden_dim);
+  w1_ = XavierInit(hidden_dim, hidden_dim, rng);
+  b1_ = Matrix(1, hidden_dim);
+  w_out_ = XavierInit(hidden_dim, num_classes, rng);
+  b_out_ = Matrix(1, num_classes);
+}
+
+Matrix GcnClassifier::Forward(const FeatureGraph& graph) const {
+  const Matrix ax = graph.a_hat.MatMul(graph.features);
+  const Matrix h1 = ax.MatMul(w0_).AddRowBroadcast(b0_).Relu();
+  const Matrix ah1 = graph.a_hat.MatMul(h1);
+  const Matrix h2 = ah1.MatMul(w1_).AddRowBroadcast(b1_).Relu();
+  const Matrix readout = h2.MeanRows();
+  Matrix logits = readout.MatMul(w_out_);
+  logits.AddRowBroadcast(b_out_);
+  return logits.SoftmaxRows();
+}
+
+int GcnClassifier::Predict(const FeatureGraph& graph) const {
+  const Matrix probs = Forward(graph);
+  int best = 0;
+  for (int c = 1; c < probs.cols(); ++c) {
+    if (probs(0, c) > probs(0, best)) best = c;
+  }
+  return best;
+}
+
+double GcnClassifier::TrainStep(const FeatureGraph& graph, int label,
+                                AdamOptimizer& opt) {
+  const int n = graph.num_vertices();
+  RASA_CHECK(n > 0);
+  // Forward with cached intermediates.
+  const Matrix ax = graph.a_hat.MatMul(graph.features);   // n x f
+  Matrix z1 = ax.MatMul(w0_);
+  z1.AddRowBroadcast(b0_);
+  const Matrix h1 = z1.Relu();                            // n x h
+  const Matrix ah1 = graph.a_hat.MatMul(h1);              // n x h
+  Matrix z2 = ah1.MatMul(w1_);
+  z2.AddRowBroadcast(b1_);
+  const Matrix h2 = z2.Relu();                            // n x h
+  const Matrix readout = h2.MeanRows();                   // 1 x h
+  Matrix logits = readout.MatMul(w_out_);
+  logits.AddRowBroadcast(b_out_);
+  const Matrix probs = logits.SoftmaxRows();              // 1 x c
+  const double loss = CrossEntropy(probs, label);
+
+  // Backward.
+  Matrix dlogits = probs;                                 // 1 x c
+  dlogits(0, label) -= 1.0;
+  const Matrix dw_out = readout.Transpose().MatMul(dlogits);
+  const Matrix db_out = dlogits;
+  const Matrix dreadout = dlogits.MatMul(w_out_.Transpose());  // 1 x h
+  // d(mean over rows) spreads the gradient evenly to each vertex.
+  Matrix dh2(n, dreadout.cols());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < dreadout.cols(); ++j) {
+      dh2(i, j) = dreadout(0, j) / n;
+    }
+  }
+  const Matrix dz2 = dh2.Hadamard(z2.ReluMask());
+  const Matrix dw1 = ah1.Transpose().MatMul(dz2);
+  const Matrix db1 = ColSums(dz2);
+  // dH1 = A_hat^T dZ2 W1^T; A_hat is symmetric.
+  const Matrix dh1 = graph.a_hat.MatMul(dz2).MatMul(w1_.Transpose());
+  const Matrix dz1 = dh1.Hadamard(z1.ReluMask());
+  const Matrix dw0 = ax.Transpose().MatMul(dz1);
+  const Matrix db0 = ColSums(dz1);
+
+  opt.NextStep();
+  opt.Update(w_out_, dw_out);
+  opt.Update(b_out_, db_out);
+  opt.Update(w1_, dw1);
+  opt.Update(b1_, db1);
+  opt.Update(w0_, dw0);
+  opt.Update(b0_, db0);
+  return loss;
+}
+
+double GcnClassifier::Fit(const std::vector<FeatureGraph>& graphs,
+                          const std::vector<int>& labels, int epochs,
+                          double learning_rate, uint64_t seed) {
+  RASA_CHECK(graphs.size() == labels.size());
+  AdamOptimizer opt(learning_rate);
+  Rng rng(seed);
+  double last_epoch_loss = 0.0;
+  std::vector<int> order(graphs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double total = 0.0;
+    for (int idx : order) total += TrainStep(graphs[idx], labels[idx], opt);
+    last_epoch_loss = graphs.empty() ? 0.0 : total / graphs.size();
+  }
+  return last_epoch_loss;
+}
+
+double GcnClassifier::Accuracy(const std::vector<FeatureGraph>& graphs,
+                               const std::vector<int>& labels) const {
+  if (graphs.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    if (Predict(graphs[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / graphs.size();
+}
+
+std::string GcnClassifier::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "gcn-v1\n";
+  WriteMatrix(os, w0_);
+  WriteMatrix(os, b0_);
+  WriteMatrix(os, w1_);
+  WriteMatrix(os, b1_);
+  WriteMatrix(os, w_out_);
+  WriteMatrix(os, b_out_);
+  return os.str();
+}
+
+StatusOr<GcnClassifier> GcnClassifier::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  if (!(is >> magic) || magic != "gcn-v1") {
+    return InvalidArgumentError("bad GCN serialization header");
+  }
+  GcnClassifier model;
+  for (Matrix* m : {&model.w0_, &model.b0_, &model.w1_, &model.b1_,
+                    &model.w_out_, &model.b_out_}) {
+    if (!ReadMatrix(is, *m)) {
+      return InvalidArgumentError("truncated GCN serialization");
+    }
+  }
+  return model;
+}
+
+Status GcnClassifier::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError(StrFormat("cannot open %s", path.c_str()));
+  out << Serialize();
+  return out.good() ? Status::OK()
+                    : InternalError(StrFormat("write failed: %s", path.c_str()));
+}
+
+StatusOr<GcnClassifier> GcnClassifier::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+MlpClassifier::MlpClassifier(int in_dim, int hidden_dim, int num_classes,
+                             uint64_t seed) {
+  Rng rng(seed ^ 0xabcdef);
+  w0_ = XavierInit(in_dim, hidden_dim, rng);
+  b0_ = Matrix(1, hidden_dim);
+  w_out_ = XavierInit(hidden_dim, num_classes, rng);
+  b_out_ = Matrix(1, num_classes);
+}
+
+Matrix MlpClassifier::Forward(const Matrix& mean_features) const {
+  Matrix z1 = mean_features.MatMul(w0_);
+  z1.AddRowBroadcast(b0_);
+  const Matrix h1 = z1.Relu();
+  Matrix logits = h1.MatMul(w_out_);
+  logits.AddRowBroadcast(b_out_);
+  return logits.SoftmaxRows();
+}
+
+int MlpClassifier::Predict(const Matrix& mean_features) const {
+  const Matrix probs = Forward(mean_features);
+  int best = 0;
+  for (int c = 1; c < probs.cols(); ++c) {
+    if (probs(0, c) > probs(0, best)) best = c;
+  }
+  return best;
+}
+
+double MlpClassifier::TrainStep(const Matrix& mean_features, int label,
+                                AdamOptimizer& opt) {
+  Matrix z1 = mean_features.MatMul(w0_);
+  z1.AddRowBroadcast(b0_);
+  const Matrix h1 = z1.Relu();
+  Matrix logits = h1.MatMul(w_out_);
+  logits.AddRowBroadcast(b_out_);
+  const Matrix probs = logits.SoftmaxRows();
+  const double loss = CrossEntropy(probs, label);
+
+  Matrix dlogits = probs;
+  dlogits(0, label) -= 1.0;
+  const Matrix dw_out = h1.Transpose().MatMul(dlogits);
+  const Matrix db_out = dlogits;
+  const Matrix dh1 = dlogits.MatMul(w_out_.Transpose());
+  const Matrix dz1 = dh1.Hadamard(z1.ReluMask());
+  const Matrix dw0 = mean_features.Transpose().MatMul(dz1);
+  const Matrix db0 = dz1;
+
+  opt.NextStep();
+  opt.Update(w_out_, dw_out);
+  opt.Update(b_out_, db_out);
+  opt.Update(w0_, dw0);
+  opt.Update(b0_, db0);
+  return loss;
+}
+
+double MlpClassifier::Fit(const std::vector<Matrix>& inputs,
+                          const std::vector<int>& labels, int epochs,
+                          double learning_rate, uint64_t seed) {
+  RASA_CHECK(inputs.size() == labels.size());
+  AdamOptimizer opt(learning_rate);
+  Rng rng(seed);
+  std::vector<int> order(inputs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  double last = 0.0;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(order);
+    double total = 0.0;
+    for (int idx : order) total += TrainStep(inputs[idx], labels[idx], opt);
+    last = inputs.empty() ? 0.0 : total / inputs.size();
+  }
+  return last;
+}
+
+double MlpClassifier::Accuracy(const std::vector<Matrix>& inputs,
+                               const std::vector<int>& labels) const {
+  if (inputs.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (Predict(inputs[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / inputs.size();
+}
+
+std::string MlpClassifier::Serialize() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "mlp-v1\n";
+  WriteMatrix(os, w0_);
+  WriteMatrix(os, b0_);
+  WriteMatrix(os, w_out_);
+  WriteMatrix(os, b_out_);
+  return os.str();
+}
+
+StatusOr<MlpClassifier> MlpClassifier::Deserialize(const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  if (!(is >> magic) || magic != "mlp-v1") {
+    return InvalidArgumentError("bad MLP serialization header");
+  }
+  MlpClassifier model;
+  for (Matrix* m : {&model.w0_, &model.b0_, &model.w_out_, &model.b_out_}) {
+    if (!ReadMatrix(is, *m)) {
+      return InvalidArgumentError("truncated MLP serialization");
+    }
+  }
+  return model;
+}
+
+Status MlpClassifier::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return InternalError(StrFormat("cannot open %s", path.c_str()));
+  out << Serialize();
+  return out.good() ? Status::OK()
+                    : InternalError(StrFormat("write failed: %s", path.c_str()));
+}
+
+StatusOr<MlpClassifier> MlpClassifier::LoadFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace rasa

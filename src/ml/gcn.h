@@ -1,0 +1,86 @@
+#ifndef RASA_ML_GCN_H_
+#define RASA_ML_GCN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+#include "linalg/matrix.h"
+#include "ml/adam.h"
+#include "ml/feature_graph.h"
+
+namespace rasa {
+
+/// The graph classifier of §IV-D1: two GCN layers with ReLU
+/// (H_{l+1} = ReLU(A_hat H_l W_l + b_l)), mean-pooling graph readout, and a
+/// linear layer with softmax over the labels. Trained by backpropagation
+/// with Adam on single-graph batches.
+class GcnClassifier {
+ public:
+  GcnClassifier() = default;
+  GcnClassifier(int in_dim, int hidden_dim, int num_classes, uint64_t seed);
+
+  /// Class probabilities, shape 1 x num_classes.
+  Matrix Forward(const FeatureGraph& graph) const;
+  /// argmax of Forward.
+  int Predict(const FeatureGraph& graph) const;
+
+  /// One SGD step on (graph, label); returns the cross-entropy loss before
+  /// the update.
+  double TrainStep(const FeatureGraph& graph, int label, AdamOptimizer& opt);
+
+  /// Trains for `epochs` passes over the dataset (order shuffled per epoch
+  /// with `seed`); returns final-epoch mean loss.
+  double Fit(const std::vector<FeatureGraph>& graphs,
+             const std::vector<int>& labels, int epochs, double learning_rate,
+             uint64_t seed);
+
+  /// Fraction of correct predictions.
+  double Accuracy(const std::vector<FeatureGraph>& graphs,
+                  const std::vector<int>& labels) const;
+
+  int in_dim() const { return w0_.rows(); }
+  int hidden_dim() const { return w0_.cols(); }
+  int num_classes() const { return w_out_.cols(); }
+
+  /// Weight (de)serialization: a small self-describing text format.
+  std::string Serialize() const;
+  static StatusOr<GcnClassifier> Deserialize(const std::string& text);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<GcnClassifier> LoadFromFile(const std::string& path);
+
+ private:
+  Matrix w0_, b0_;     // in -> hidden
+  Matrix w1_, b1_;     // hidden -> hidden
+  Matrix w_out_, b_out_;  // hidden -> classes
+};
+
+/// The MLP-BASED ablation baseline (§V-C): mean of the vertex features fed
+/// through one hidden layer + softmax — same capacity, no topology.
+class MlpClassifier {
+ public:
+  MlpClassifier() = default;
+  MlpClassifier(int in_dim, int hidden_dim, int num_classes, uint64_t seed);
+
+  Matrix Forward(const Matrix& mean_features) const;  // 1 x in_dim input
+  int Predict(const Matrix& mean_features) const;
+  double TrainStep(const Matrix& mean_features, int label, AdamOptimizer& opt);
+  double Fit(const std::vector<Matrix>& inputs, const std::vector<int>& labels,
+             int epochs, double learning_rate, uint64_t seed);
+  double Accuracy(const std::vector<Matrix>& inputs,
+                  const std::vector<int>& labels) const;
+
+  std::string Serialize() const;
+  static StatusOr<MlpClassifier> Deserialize(const std::string& text);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<MlpClassifier> LoadFromFile(const std::string& path);
+
+ private:
+  Matrix w0_, b0_;
+  Matrix w_out_, b_out_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_ML_GCN_H_

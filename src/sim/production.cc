@@ -1,0 +1,163 @@
+#include "sim/production.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/objective.h"
+
+namespace rasa {
+namespace {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+}
+
+// Normalizes all given series jointly so their common maximum is 1.0 (the
+// paper plots normalized metrics with a shared scale per subplot).
+void NormalizeJointly(std::initializer_list<std::vector<double>*> series) {
+  double max_v = 0.0;
+  for (const std::vector<double>* s : series) {
+    for (double v : *s) max_v = std::max(max_v, v);
+  }
+  if (max_v <= 0.0) return;
+  for (std::vector<double>* s : series) {
+    for (double& v : *s) v /= max_v;
+  }
+}
+
+}  // namespace
+
+ProductionSimReport SimulateProduction(const Cluster& cluster,
+                                       const Placement& with_rasa,
+                                       const Placement& without_rasa,
+                                       const ProductionSimOptions& options,
+                                       int tracked_pairs) {
+  ProductionSimReport report;
+  Rng rng(options.seed);
+  const int T = options.time_steps;
+
+  const std::vector<double> with_ratios =
+      EdgeLocalizationRatios(cluster, with_rasa);
+  const std::vector<double> without_ratios =
+      EdgeLocalizationRatios(cluster, without_rasa);
+  const auto& edges = cluster.affinity().edges();
+
+  // Shared per-step network weather: congestion spikes hit RPC traffic of
+  // every pair in the same step (they share the fabric).
+  std::vector<double> congestion(T, 1.0);
+  std::vector<double> rpc_level(T, 1.0);
+  std::vector<double> err_level(T, 1.0);
+  for (int t = 0; t < T; ++t) {
+    if (rng.NextBool(options.congestion_probability)) {
+      congestion[t] = options.congestion_multiplier *
+                      (1.0 + 0.3 * rng.NextDouble());
+    }
+    rpc_level[t] =
+        std::max(0.2, 1.0 + options.rpc_jitter * rng.NextGaussian());
+    err_level[t] =
+        std::max(0.1, 1.0 + options.error_jitter * rng.NextGaussian());
+  }
+
+  auto latency_at = [&](double rho, int t, double pair_noise) {
+    const double rpc = options.rpc_latency * rpc_level[t] * congestion[t] *
+                       (1.0 + 0.05 * pair_noise);
+    return rho * options.ipc_latency + (1.0 - rho) * rpc;
+  };
+  auto error_at = [&](double rho, int t, double pair_noise) {
+    const double rpc_err = options.rpc_error * err_level[t] * congestion[t] *
+                           (1.0 + 0.1 * pair_noise);
+    return rho * options.ipc_error + (1.0 - rho) * rpc_err;
+  };
+
+  // Build the weighted cluster-wide series over every affinity edge, and
+  // collect per-pair series for the top pairs by traffic.
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return edges[a].weight > edges[b].weight;
+  });
+  if (tracked_pairs <= 0) tracked_pairs = 4;
+
+  report.weighted_latency_with.assign(T, 0.0);
+  report.weighted_latency_without.assign(T, 0.0);
+  report.weighted_latency_collocated.assign(T, 0.0);
+  report.weighted_error_with.assign(T, 0.0);
+  report.weighted_error_without.assign(T, 0.0);
+  report.weighted_error_collocated.assign(T, 0.0);
+  double total_weight = 0.0;
+  for (const AffinityEdge& e : edges) total_weight += e.weight;
+  if (total_weight <= 0.0) total_weight = 1.0;
+
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t ei = order[rank];
+    const AffinityEdge& e = edges[ei];
+    const double pair_noise = rng.NextGaussian();
+    const bool tracked = rank < static_cast<size_t>(tracked_pairs);
+    PairProductionSeries series;
+    series.service_u = e.u;
+    series.service_v = e.v;
+    series.qps_weight = e.weight;
+    series.with_ratio = with_ratios[ei];
+    series.without_ratio = without_ratios[ei];
+
+    for (int t = 0; t < T; ++t) {
+      const double lw = latency_at(with_ratios[ei], t, pair_noise);
+      const double lo = latency_at(without_ratios[ei], t, pair_noise);
+      const double lc = latency_at(1.0, t, pair_noise);
+      const double ew = error_at(with_ratios[ei], t, pair_noise);
+      const double eo = error_at(without_ratios[ei], t, pair_noise);
+      const double ec = error_at(1.0, t, pair_noise);
+      const double share = e.weight / total_weight;
+      report.weighted_latency_with[t] += share * lw;
+      report.weighted_latency_without[t] += share * lo;
+      report.weighted_latency_collocated[t] += share * lc;
+      report.weighted_error_with[t] += share * ew;
+      report.weighted_error_without[t] += share * eo;
+      report.weighted_error_collocated[t] += share * ec;
+      if (tracked) {
+        series.latency_with.push_back(lw);
+        series.latency_without.push_back(lo);
+        series.latency_collocated.push_back(lc);
+        series.error_with.push_back(ew);
+        series.error_without.push_back(eo);
+        series.error_collocated.push_back(ec);
+      }
+    }
+    if (tracked) {
+      series.latency_improvement =
+          1.0 - Mean(series.latency_with) /
+                    std::max(1e-12, Mean(series.latency_without));
+      series.error_improvement =
+          1.0 - Mean(series.error_with) /
+                    std::max(1e-12, Mean(series.error_without));
+      NormalizeJointly({&series.latency_with, &series.latency_without,
+                        &series.latency_collocated});
+      NormalizeJointly({&series.error_with, &series.error_without,
+                        &series.error_collocated});
+      report.pairs.push_back(std::move(series));
+    }
+  }
+
+  report.latency_improvement =
+      1.0 - Mean(report.weighted_latency_with) /
+                std::max(1e-12, Mean(report.weighted_latency_without));
+  report.error_improvement =
+      1.0 - Mean(report.weighted_error_with) /
+                std::max(1e-12, Mean(report.weighted_error_without));
+  NormalizeJointly({&report.weighted_latency_with,
+                    &report.weighted_latency_without,
+                    &report.weighted_latency_collocated});
+  NormalizeJointly({&report.weighted_error_with,
+                    &report.weighted_error_without,
+                    &report.weighted_error_collocated});
+  report.latency_gap_to_collocated =
+      Mean(report.weighted_latency_with) -
+      Mean(report.weighted_latency_collocated);
+  report.error_gap_to_collocated = Mean(report.weighted_error_with) -
+                                   Mean(report.weighted_error_collocated);
+  return report;
+}
+
+}  // namespace rasa

@@ -1,0 +1,77 @@
+#ifndef RASA_SIM_PRODUCTION_H_
+#define RASA_SIM_PRODUCTION_H_
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/rng.h"
+
+namespace rasa {
+
+/// Request-level model of the production deployment (§V-F). Collocated
+/// traffic uses IPC (low fixed latency, near-zero errors); remote traffic
+/// uses RPC over the network (higher latency with jitter and congestion
+/// spikes, nonzero error rate). Latencies are in normalized units; every
+/// reported series is further normalized to a maximum of 1.0 as the paper
+/// does.
+struct ProductionSimOptions {
+  int time_steps = 48;          // e.g. a day at 30-minute resolution
+  double ipc_latency = 0.12;
+  double rpc_latency = 1.0;
+  double rpc_jitter = 0.20;     // relative lognormal-ish jitter per step
+  double ipc_error = 0.0008;
+  double rpc_error = 0.010;
+  double error_jitter = 0.45;
+  double congestion_probability = 0.10;  // per-step chance of a spike
+  double congestion_multiplier = 2.2;    // latency & error multiplier
+  uint64_t seed = 7;
+};
+
+/// Per-service-pair time series: WITH RASA, WITHOUT RASA (ORIGINAL) and the
+/// ONLY COLLOCATED upper bound (Figs. 11 & 12).
+struct PairProductionSeries {
+  int service_u = 0;
+  int service_v = 0;
+  double qps_weight = 0.0;  // edge weight = traffic share
+  double with_ratio = 0.0;     // localized-traffic ratio under RASA
+  double without_ratio = 0.0;  // under ORIGINAL
+
+  std::vector<double> latency_with;
+  std::vector<double> latency_without;
+  std::vector<double> latency_collocated;
+  std::vector<double> error_with;
+  std::vector<double> error_without;
+  std::vector<double> error_collocated;
+
+  double latency_improvement = 0.0;  // 1 - mean(with)/mean(without)
+  double error_improvement = 0.0;
+};
+
+/// Cluster-wide QPS-weighted series (Fig. 13).
+struct ProductionSimReport {
+  std::vector<PairProductionSeries> pairs;  // one per tracked service pair
+  std::vector<double> weighted_latency_with;
+  std::vector<double> weighted_latency_without;
+  std::vector<double> weighted_latency_collocated;
+  std::vector<double> weighted_error_with;
+  std::vector<double> weighted_error_without;
+  std::vector<double> weighted_error_collocated;
+  double latency_improvement = 0.0;
+  double error_improvement = 0.0;
+  double latency_gap_to_collocated = 0.0;  // |with - collocated| mean gap
+  double error_gap_to_collocated = 0.0;
+};
+
+/// Simulates production metrics for the placements WITH and WITHOUT RASA.
+/// `tracked_pairs` selects the service pairs reported individually (pass 0
+/// to track the top-4 pairs by traffic, as the paper does).
+ProductionSimReport SimulateProduction(const Cluster& cluster,
+                                       const Placement& with_rasa,
+                                       const Placement& without_rasa,
+                                       const ProductionSimOptions& options,
+                                       int tracked_pairs = 4);
+
+}  // namespace rasa
+
+#endif  // RASA_SIM_PRODUCTION_H_

@@ -1,0 +1,184 @@
+#include "sim/workflow.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/migration.h"
+#include "core/objective.h"
+
+namespace rasa {
+namespace {
+
+// Re-associates the counts of `placement` with `cluster` (same shape,
+// possibly different affinity weights).
+Placement RebindPlacement(const Cluster& cluster, const Placement& placement) {
+  Placement out(cluster);
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& [s, count] : placement.ServicesOn(m)) {
+      out.Add(m, s, count);
+    }
+  }
+  return out;
+}
+
+// Randomly relocates ~fraction of all containers to other feasible machines
+// (application updates / user modifications between cycles).
+void DriftPlacement(const Cluster& cluster, Placement& placement,
+                    double fraction, Rng& rng) {
+  const int moves =
+      static_cast<int>(fraction * cluster.num_containers());
+  for (int i = 0; i < moves; ++i) {
+    const int s = static_cast<int>(rng.NextUint64(cluster.num_services()));
+    const auto& machines = placement.MachinesOf(s);
+    if (machines.empty()) continue;
+    // Pick a random hosting machine of s.
+    const int pick = static_cast<int>(rng.NextUint64(machines.size()));
+    auto it = machines.begin();
+    std::advance(it, pick);
+    const int from = it->first;
+    // Pick a random feasible destination.
+    std::vector<int> feasible;
+    for (int m = 0; m < cluster.num_machines(); ++m) {
+      if (m != from && placement.CanPlace(m, s)) feasible.push_back(m);
+    }
+    if (feasible.empty()) continue;
+    const int to = feasible[rng.NextUint64(feasible.size())];
+    RASA_CHECK(placement.Remove(from, s).ok());
+    placement.Add(to, s);
+  }
+}
+
+double MaxMachineUtilization(const Cluster& cluster,
+                             const Placement& placement) {
+  double worst = 0.0;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (int r = 0; r < cluster.num_resources(); ++r) {
+      const double cap = cluster.machine(m).capacity[r];
+      if (cap > 0.0) {
+        worst = std::max(worst, placement.UsedResource(m, r) / cap);
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+CollectedState CollectClusterState(const Cluster& cluster,
+                                   const Placement& live,
+                                   double measurement_noise, uint64_t seed) {
+  Rng rng(seed);
+  AffinityGraph measured(cluster.num_services());
+  for (const AffinityEdge& e : cluster.affinity().edges()) {
+    const double factor =
+        std::max(0.05, 1.0 + measurement_noise * rng.NextGaussian());
+    measured.AddEdge(e.u, e.v, e.weight * factor);
+  }
+  measured.NormalizeWeights();
+  CollectedState state{
+      std::make_shared<Cluster>(cluster.resource_names(), cluster.services(),
+                                cluster.machines(), std::move(measured),
+                                cluster.anti_affinity()),
+      Placement()};
+  state.placement = RebindPlacement(*state.measured_cluster, live);
+  return state;
+}
+
+StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
+                                     const Placement& initial,
+                                     const AlgorithmSelector& selector,
+                                     const WorkflowOptions& options) {
+  WorkflowReport report;
+  Placement live = RebindPlacement(cluster, initial);
+  Rng rng(options.seed);
+  // Services tagged unschedulable after a rollback, with remaining cooldown.
+  std::vector<int> frozen_cooldown(cluster.num_services(), 0);
+
+  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    Stopwatch timer;
+    CycleReport cr;
+    cr.affinity_before = GainedAffinity(cluster, live);
+
+    // 1) Data collection (measured traffic, frozen services muted so the
+    //    partitioner treats them as trivial and leaves them in place).
+    CollectedState state =
+        CollectClusterState(cluster, live, options.measurement_noise,
+                            rng.Next());
+    bool any_frozen = false;
+    for (int cd : frozen_cooldown) any_frozen |= cd > 0;
+    if (any_frozen) {
+      AffinityGraph muted(cluster.num_services());
+      for (const AffinityEdge& e :
+           state.measured_cluster->affinity().edges()) {
+        if (frozen_cooldown[e.u] > 0 || frozen_cooldown[e.v] > 0) continue;
+        muted.AddEdge(e.u, e.v, e.weight);
+      }
+      state.measured_cluster = std::make_shared<Cluster>(
+          cluster.resource_names(), cluster.services(), cluster.machines(),
+          std::move(muted), cluster.anti_affinity());
+      state.placement = RebindPlacement(*state.measured_cluster, live);
+    }
+
+    // 2) The RASA algorithm on the collected state.
+    RasaOptions rasa_options = options.rasa;
+    rasa_options.seed = rng.Next();
+    RasaOptimizer optimizer(rasa_options, selector);
+    RASA_ASSIGN_OR_RETURN(RasaResult result,
+                          optimizer.Optimize(*state.measured_cluster,
+                                             state.placement));
+    cr.predicted_affinity = result.new_gained_affinity;
+
+    // 3) Reallocate per the migration plan (or dry-run).
+    if (result.should_execute) {
+      const Status valid = ValidateMigrationPlan(
+          *state.measured_cluster, state.placement, result.new_placement,
+          result.migration, rasa_options.migration.min_alive_fraction);
+      if (!valid.ok()) {
+        RASA_LOG(Warning) << "migration plan invalid, dry-running: "
+                          << valid.ToString();
+      } else {
+        Placement candidate = RebindPlacement(cluster, result.new_placement);
+        if (MaxMachineUtilization(cluster, candidate) >
+            options.rollback_utilization_threshold) {
+          // Rollback: revert, tag the moved services unschedulable.
+          cr.rolled_back = true;
+          ++report.rollbacks;
+          for (int s = 0; s < cluster.num_services(); ++s) {
+            bool moved = false;
+            for (const auto& [m, count] : candidate.MachinesOf(s)) {
+              if (live.CountOn(m, s) != count) {
+                moved = true;
+                break;
+              }
+            }
+            if (moved) frozen_cooldown[s] = options.unschedulable_cycles;
+          }
+        } else {
+          cr.executed = true;
+          cr.moved_containers = result.moved_containers;
+          cr.migration_batches =
+              static_cast<int>(result.migration.batches.size());
+          ++report.executions;
+          live = std::move(candidate);
+        }
+      }
+    }
+    if (!cr.executed && !cr.rolled_back) ++report.dry_runs;
+
+    cr.affinity_after = GainedAffinity(cluster, live);
+    cr.seconds = timer.ElapsedSeconds();
+    report.cycles.push_back(cr);
+
+    // 4) Cluster drift before the next cycle; cooldowns tick down.
+    DriftPlacement(cluster, live, options.drift_fraction, rng);
+    for (int& cd : frozen_cooldown) cd = std::max(0, cd - 1);
+  }
+
+  report.final_placement = std::move(live);
+  return report;
+}
+
+}  // namespace rasa

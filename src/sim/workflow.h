@@ -1,0 +1,79 @@
+#ifndef RASA_SIM_WORKFLOW_H_
+#define RASA_SIM_WORKFLOW_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "core/rasa.h"
+
+namespace rasa {
+
+/// One collected cluster state (the Data Collector of §III-A). The affinity
+/// weights are the *measured* traffic: optionally perturbed by measurement
+/// noise relative to ground truth. Held behind a shared_ptr because the
+/// placement references it.
+struct CollectedState {
+  std::shared_ptr<const Cluster> measured_cluster;
+  Placement placement;
+};
+
+/// Samples the live cluster: copies the placement and re-weights the
+/// affinity graph with multiplicative noise of the given relative sigma.
+CollectedState CollectClusterState(const Cluster& cluster,
+                                   const Placement& live,
+                                   double measurement_noise, uint64_t seed);
+
+struct WorkflowOptions {
+  /// Number of CronJob cycles to simulate (the paper runs every 30 min).
+  int cycles = 6;
+  /// Fraction of containers randomly relocated between cycles (application
+  /// updates / user modifications drifting the cluster state).
+  double drift_fraction = 0.04;
+  double measurement_noise = 0.05;
+  RasaOptions rasa;
+  /// Roll back a reallocation if any machine's dominant-resource
+  /// utilization exceeds this fraction afterwards (§III-B). Collocation
+  /// legitimately packs machines to 100%, so the default only fires on
+  /// over-commitment (e.g. the snapshot went stale mid-migration).
+  double rollback_utilization_threshold = 1.0000001;
+  /// Cycles a rolled-back run keeps its services tagged unschedulable
+  /// (stands in for the paper's three days).
+  int unschedulable_cycles = 2;
+  uint64_t seed = 99;
+};
+
+struct CycleReport {
+  double affinity_before = 0.0;
+  double affinity_after = 0.0;   // after execution (== before if dry-run)
+  double predicted_affinity = 0.0;
+  bool executed = false;
+  bool rolled_back = false;
+  int moved_containers = 0;
+  int migration_batches = 0;
+  double seconds = 0.0;
+};
+
+struct WorkflowReport {
+  std::vector<CycleReport> cycles;
+  Placement final_placement;
+  int executions = 0;
+  int dry_runs = 0;
+  int rollbacks = 0;
+};
+
+/// Simulates the full periodic system of §III-A: each cycle collects the
+/// cluster state, runs the RASA algorithm, dry-runs when the improvement is
+/// below the threshold, otherwise validates and applies the migration plan
+/// batch by batch, then checks the rollback condition. Between cycles the
+/// cluster drifts.
+StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
+                                     const Placement& initial,
+                                     const AlgorithmSelector& selector,
+                                     const WorkflowOptions& options);
+
+}  // namespace rasa
+
+#endif  // RASA_SIM_WORKFLOW_H_

@@ -1,0 +1,110 @@
+#include "baselines/baselines.h"
+
+#include "cluster/generator.h"
+#include "core/objective.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+class BaselinesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(32.0));
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = std::move(snapshot).value();
+  }
+  ClusterSnapshot snapshot_;
+};
+
+TEST_F(BaselinesFixture, OriginalIsFeasibleAndAffinityBlind) {
+  StatusOr<BaselineResult> result = RunOriginal(*snapshot_.cluster, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->placement.CheckFeasible(true).ok());
+  EXPECT_EQ(result->lost_containers, 0);
+  EXPECT_GE(result->gained_affinity, 0.0);
+  EXPECT_NEAR(result->gained_affinity,
+              GainedAffinity(*snapshot_.cluster, result->placement), 1e-12);
+}
+
+TEST_F(BaselinesFixture, K8sPlusBeatsOriginalOnAffinity) {
+  StatusOr<BaselineResult> original = RunOriginal(*snapshot_.cluster, 1);
+  StatusOr<BaselineResult> k8s =
+      RunK8sPlus(*snapshot_.cluster, Deadline::AfterSeconds(30), 1);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(k8s.ok());
+  EXPECT_TRUE(k8s->placement.CheckFeasible(true).ok());
+  EXPECT_GT(k8s->gained_affinity, original->gained_affinity);
+}
+
+TEST_F(BaselinesFixture, PopProducesFeasiblePlacement) {
+  StatusOr<BaselineResult> pop =
+      RunPop(*snapshot_.cluster, snapshot_.original_placement,
+             Deadline::AfterSeconds(3), 1);
+  ASSERT_TRUE(pop.ok());
+  EXPECT_TRUE(pop->placement.CheckFeasible(false).ok());
+  EXPECT_EQ(pop->lost_containers, 0);
+  // SLA: every service fully deployed (fallback catches stragglers).
+  for (int s = 0; s < snapshot_.cluster->num_services(); ++s) {
+    EXPECT_EQ(pop->placement.TotalOf(s),
+              snapshot_.cluster->service(s).demand);
+  }
+}
+
+TEST_F(BaselinesFixture, Applsci19ProducesFeasiblePlacement) {
+  StatusOr<BaselineResult> result =
+      RunApplsci19(*snapshot_.cluster, snapshot_.original_placement,
+                   Deadline::AfterSeconds(10), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->placement.CheckFeasible(false).ok());
+  EXPECT_EQ(result->lost_containers, 0);
+  for (int s = 0; s < snapshot_.cluster->num_services(); ++s) {
+    EXPECT_EQ(result->placement.TotalOf(s),
+              snapshot_.cluster->service(s).demand);
+  }
+}
+
+TEST_F(BaselinesFixture, Applsci19BeatsOriginal) {
+  StatusOr<BaselineResult> original = RunOriginal(*snapshot_.cluster, 1);
+  StatusOr<BaselineResult> appl =
+      RunApplsci19(*snapshot_.cluster, snapshot_.original_placement,
+                   Deadline::AfterSeconds(10), 1);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(appl.ok());
+  EXPECT_GT(appl->gained_affinity, original->gained_affinity);
+}
+
+TEST_F(BaselinesFixture, PopPartitionCountIsConfigurable) {
+  StatusOr<BaselineResult> few =
+      RunPop(*snapshot_.cluster, snapshot_.original_placement,
+             Deadline::AfterSeconds(2), 1, 2);
+  StatusOr<BaselineResult> many =
+      RunPop(*snapshot_.cluster, snapshot_.original_placement,
+             Deadline::AfterSeconds(2), 1, 16);
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(many.ok());
+  // Both complete; just exercise the parameter path.
+  EXPECT_GE(few->gained_affinity, 0.0);
+  EXPECT_GE(many->gained_affinity, 0.0);
+}
+
+TEST_F(BaselinesFixture, BaselinesAreDeterministicInSeed) {
+  StatusOr<BaselineResult> a =
+      RunK8sPlus(*snapshot_.cluster, Deadline::AfterSeconds(30), 7);
+  StatusOr<BaselineResult> b =
+      RunK8sPlus(*snapshot_.cluster, Deadline::AfterSeconds(30), 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->placement.DiffCount(b->placement), 0);
+  EXPECT_DOUBLE_EQ(a->gained_affinity, b->gained_affinity);
+}
+
+TEST_F(BaselinesFixture, SecondsAreMeasured) {
+  StatusOr<BaselineResult> result = RunOriginal(*snapshot_.cluster, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->seconds, 0.0);
+  EXPECT_LT(result->seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace rasa

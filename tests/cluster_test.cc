@@ -1,0 +1,308 @@
+#include <algorithm>
+
+#include "cluster/cluster.h"
+#include "cluster/first_fit.h"
+#include "cluster/generator.h"
+#include "cluster/placement.h"
+#include "common/rng.h"
+#include "graph/powerlaw_fit.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+// A small hand-built cluster: 3 services, 2 machines, one anti-affinity
+// rule, two platforms.
+Cluster TinyCluster() {
+  std::vector<Service> services(3);
+  services[0] = {"a", 4, {1.0, 2.0}, 0};
+  services[1] = {"b", 2, {2.0, 1.0}, 0};
+  services[2] = {"c", 1, {1.0, 1.0}, 1};
+  std::vector<Machine> machines(3);
+  machines[0] = {"m0", 0, {8.0, 12.0}, 0};
+  machines[1] = {"m1", 0, {8.0, 12.0}, 0};
+  machines[2] = {"m2", 1, {4.0, 6.0}, 1};
+  AffinityGraph affinity(3);
+  affinity.AddEdge(0, 1, 1.0);
+  std::vector<AntiAffinityRule> rules = {{{0}, 2}};  // at most 2 of a/machine
+  return Cluster({"cpu", "mem"}, std::move(services), std::move(machines),
+                 std::move(affinity), std::move(rules));
+}
+
+TEST(ClusterTest, AccessorsAndValidation) {
+  Cluster c = TinyCluster();
+  EXPECT_EQ(c.num_services(), 3);
+  EXPECT_EQ(c.num_machines(), 3);
+  EXPECT_EQ(c.num_resources(), 2);
+  EXPECT_EQ(c.num_containers(), 7);
+  EXPECT_TRUE(c.Validate().ok());
+  EXPECT_EQ(c.RulesOfService(0), (std::vector<int>{0}));
+  EXPECT_TRUE(c.RulesOfService(1).empty());
+}
+
+TEST(ClusterTest, CanHostFollowsPlatform) {
+  Cluster c = TinyCluster();
+  EXPECT_TRUE(c.CanHost(0, 0));
+  EXPECT_TRUE(c.CanHost(1, 1));
+  EXPECT_FALSE(c.CanHost(2, 0));  // platform mismatch
+  EXPECT_FALSE(c.CanHost(0, 2));
+  EXPECT_TRUE(c.CanHost(2, 2));
+}
+
+TEST(ClusterTest, MachineSpecQueries) {
+  Cluster c = TinyCluster();
+  EXPECT_EQ(c.MachineSpecIds(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.MachinesWithSpec(0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(c.MachinesWithSpec(1), (std::vector<int>{2}));
+}
+
+TEST(ClusterTest, ValidationCatchesDimensionMismatch) {
+  std::vector<Service> services = {{"a", 1, {1.0}, 0}};  // 1 resource
+  std::vector<Machine> machines = {{"m", 0, {4.0, 4.0}, 0}};
+  Cluster c({"cpu", "mem"}, services, machines, AffinityGraph(1), {});
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ClusterTest, ValidationCatchesBadAffinitySize) {
+  std::vector<Service> services = {{"a", 1, {1.0, 1.0}, 0}};
+  std::vector<Machine> machines = {{"m", 0, {4.0, 4.0}, 0}};
+  Cluster c({"cpu", "mem"}, services, machines, AffinityGraph(5), {});
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ClusterTest, ValidationCatchesBadRule) {
+  std::vector<Service> services = {{"a", 1, {1.0, 1.0}, 0}};
+  std::vector<Machine> machines = {{"m", 0, {4.0, 4.0}, 0}};
+  Cluster c({"cpu", "mem"}, services, machines, AffinityGraph(1),
+            {{{7}, 1}});
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+// ------------------------------------------------------------ Placement ---
+
+TEST(PlacementTest, AddRemoveBookkeeping) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  p.Add(0, 0, 2);
+  p.Add(1, 0, 1);
+  EXPECT_EQ(p.CountOn(0, 0), 2);
+  EXPECT_EQ(p.TotalOf(0), 3);
+  EXPECT_EQ(p.ContainersOn(0), 2);
+  EXPECT_DOUBLE_EQ(p.UsedResource(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(p.UsedResource(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(p.FreeResource(0, 0), 6.0);
+  ASSERT_TRUE(p.Remove(0, 0, 1).ok());
+  EXPECT_EQ(p.CountOn(0, 0), 1);
+  EXPECT_EQ(p.TotalOf(0), 2);
+  EXPECT_DOUBLE_EQ(p.UsedResource(0, 0), 1.0);
+}
+
+TEST(PlacementTest, RemoveTooManyFails) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  p.Add(0, 0, 1);
+  EXPECT_FALSE(p.Remove(0, 0, 2).ok());
+  EXPECT_FALSE(p.Remove(1, 0, 1).ok());
+}
+
+TEST(PlacementTest, CanPlaceChecksResources) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  // m0 has 8 cpu; service b needs 2 cpu -> at most 4 of b.
+  EXPECT_TRUE(p.CanPlace(0, 1, 4));
+  EXPECT_FALSE(p.CanPlace(0, 1, 5));
+}
+
+TEST(PlacementTest, CanPlaceChecksAntiAffinity) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  EXPECT_TRUE(p.CanPlace(0, 0, 2));
+  EXPECT_FALSE(p.CanPlace(0, 0, 3));  // rule caps at 2 per machine
+  p.Add(0, 0, 2);
+  EXPECT_FALSE(p.CanPlace(0, 0, 1));
+}
+
+TEST(PlacementTest, CanPlaceChecksPlatform) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  EXPECT_FALSE(p.CanPlace(2, 0));  // service 0 is platform 0, m2 platform 1
+  EXPECT_TRUE(p.CanPlace(2, 2));
+}
+
+TEST(PlacementTest, CheckFeasibleFullAudit) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  // Deploy everything feasibly: a: 2+2, b: 1+1, c: 1.
+  p.Add(0, 0, 2);
+  p.Add(1, 0, 2);
+  p.Add(0, 1, 1);
+  p.Add(1, 1, 1);
+  p.Add(2, 2, 1);
+  EXPECT_TRUE(p.CheckFeasible(true).ok());
+}
+
+TEST(PlacementTest, CheckFeasibleCatchesSlaShortfall) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  p.Add(0, 0, 2);
+  EXPECT_FALSE(p.CheckFeasible(true).ok());
+  EXPECT_TRUE(p.CheckFeasible(false).ok());
+}
+
+TEST(PlacementTest, CheckFeasibleCatchesOverCapacity) {
+  Cluster c = TinyCluster();
+  Placement p(c);
+  p.Add(2, 2, 1);
+  p.Add(2, 2, 4);  // Add() does not check; audit must catch it
+  EXPECT_FALSE(p.CheckFeasible(false).ok());
+}
+
+TEST(PlacementTest, RuleCountAggregatesAcrossRuleMembers) {
+  std::vector<Service> services = {{"a", 2, {1.0}, 0}, {"b", 2, {1.0}, 0}};
+  std::vector<Machine> machines = {{"m", 0, {10.0}, 0}};
+  Cluster c({"cpu"}, services, machines, AffinityGraph(2), {{{0, 1}, 3}});
+  Placement p(c);
+  p.Add(0, 0, 2);
+  p.Add(0, 1, 1);
+  EXPECT_EQ(p.RuleCount(0, 0), 3);
+  EXPECT_FALSE(p.CanPlace(0, 1));
+}
+
+TEST(PlacementTest, DiffCountCountsMoves) {
+  Cluster c = TinyCluster();
+  Placement p(c), q(c);
+  p.Add(0, 0, 2);
+  q.Add(1, 0, 2);
+  EXPECT_EQ(p.DiffCount(q), 2);
+  EXPECT_EQ(q.DiffCount(p), 2);
+  EXPECT_EQ(p.DiffCount(p), 0);
+}
+
+// ------------------------------------------------------------- FirstFit ---
+
+TEST(FirstFitTest, ProducesFullyFeasiblePlacement) {
+  Cluster c = TinyCluster();
+  Rng rng(1);
+  StatusOr<Placement> p = FirstFitPlace(c, rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->CheckFeasible(true).ok());
+}
+
+TEST(FirstFitTest, FailsWhenCapacityIsInsufficient) {
+  std::vector<Service> services = {{"a", 10, {4.0}, 0}};
+  std::vector<Machine> machines = {{"m", 0, {8.0}, 0}};
+  Cluster c({"cpu"}, services, machines, AffinityGraph(1), {});
+  Rng rng(2);
+  EXPECT_FALSE(FirstFitPlace(c, rng).ok());
+}
+
+TEST(FirstFitTest, PackingModePacksTighter) {
+  // Without anti-affinity: packing must always succeed when spreading does.
+  ClusterSpec spec = M3Spec(8.0);
+  spec.anti_affinity_probability = 0.0;
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+  ASSERT_TRUE(snapshot.ok());
+  Rng r1(4), r2(4);
+  StatusOr<Placement> spread = FirstFitPlace(
+      *snapshot->cluster, r1, FirstFitScore::kLeastAllocated, false);
+  StatusOr<Placement> packed = FirstFitPlace(
+      *snapshot->cluster, r2, FirstFitScore::kMostAllocated, false);
+  ASSERT_TRUE(spread.ok());
+  ASSERT_TRUE(packed.ok());
+  // Packing should leave at least as many machines completely empty.
+  auto empty_machines = [&](const Placement& p) {
+    int count = 0;
+    for (int m = 0; m < snapshot->cluster->num_machines(); ++m) {
+      count += p.ContainersOn(m) == 0;
+    }
+    return count;
+  };
+  EXPECT_GE(empty_machines(*packed), empty_machines(*spread));
+}
+
+// ------------------------------------------------------------ Generator ---
+
+TEST(GeneratorTest, GeneratesValidSchedulableCluster) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(32.0));
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(snapshot->cluster->Validate().ok());
+  EXPECT_TRUE(snapshot->original_placement.CheckFeasible(true).ok());
+}
+
+TEST(GeneratorTest, IsDeterministicInSeed) {
+  StatusOr<ClusterSnapshot> a = GenerateCluster(M1Spec(32.0));
+  StatusOr<ClusterSnapshot> b = GenerateCluster(M1Spec(32.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->cluster->num_services(), b->cluster->num_services());
+  EXPECT_EQ(a->cluster->affinity().num_edges(),
+            b->cluster->affinity().num_edges());
+  EXPECT_EQ(a->original_placement.DiffCount(b->original_placement), 0);
+}
+
+TEST(GeneratorTest, AffinityIsNormalizedToOne) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M2Spec(64.0));
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_NEAR(snapshot->cluster->affinity().TotalWeight(), 1.0, 1e-9);
+}
+
+TEST(GeneratorTest, AffinityIsSkewedPerAssumption41) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(16.0));
+  ASSERT_TRUE(snapshot.ok());
+  const int top = snapshot->cluster->num_services() / 10;
+  EXPECT_GT(TopKAffinityShare(snapshot->cluster->affinity(), top), 0.45);
+}
+
+TEST(GeneratorTest, TableTwoSpecsScaleProportionally) {
+  std::vector<ClusterSpec> specs = TableTwoSpecs(16.0);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "M1");
+  EXPECT_EQ(specs[1].name, "M2");
+  // M2 is the biggest cluster in Table II.
+  EXPECT_GT(specs[1].num_services, specs[0].num_services);
+  EXPECT_GT(specs[1].num_machines, specs[3].num_machines / 2);
+  // M3 is the small cluster.
+  EXPECT_LT(specs[2].num_services, specs[0].num_services);
+}
+
+TEST(GeneratorTest, ScaleStatsMatchCluster) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M3Spec(8.0));
+  ASSERT_TRUE(snapshot.ok());
+  ClusterScaleStats stats = ComputeScaleStats(*snapshot);
+  EXPECT_EQ(stats.name, "M3");
+  EXPECT_EQ(stats.num_services, snapshot->cluster->num_services());
+  EXPECT_EQ(stats.num_containers, snapshot->cluster->num_containers());
+  EXPECT_EQ(stats.num_machines, snapshot->cluster->num_machines());
+}
+
+TEST(GeneratorTest, MinorityPlatformGetsMachines) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(16.0));
+  ASSERT_TRUE(snapshot.ok());
+  int minority_machines = 0;
+  for (const Machine& m : snapshot->cluster->machines()) {
+    minority_machines += m.platform == 1;
+  }
+  int minority_services = 0;
+  for (const Service& s : snapshot->cluster->services()) {
+    minority_services += s.platform == 1;
+  }
+  EXPECT_GT(minority_services, 0);
+  EXPECT_GT(minority_machines, 0);
+}
+
+TEST(GeneratorTest, RejectsBadSpec) {
+  ClusterSpec spec;
+  spec.num_services = 0;
+  EXPECT_FALSE(GenerateCluster(spec).ok());
+}
+
+TEST(GeneratorTest, UtilizationIsModerate) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(16.0));
+  ASSERT_TRUE(snapshot.ok());
+  const double util = AverageUtilization(snapshot->original_placement);
+  EXPECT_GT(util, 0.3);
+  EXPECT_LT(util, 0.98);
+}
+
+}  // namespace
+}  // namespace rasa

@@ -1,0 +1,154 @@
+#include "core/local_search.h"
+
+#include "cluster/generator.h"
+#include "core/objective.h"
+#include "core/rasa.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace rasa {
+namespace {
+
+using ::rasa::testing::ClusterBuilder;
+
+TEST(LocalSearchTest, MovesPairTogether) {
+  auto cluster = ClusterBuilder()
+                     .AddService(1, {1.0})
+                     .AddService(1, {1.0})
+                     .AddMachine({4.0})
+                     .AddMachine({4.0})
+                     .AddAffinity(0, 1, 1.0)
+                     .Build();
+  Placement p(*cluster);
+  p.Add(0, 0, 1);
+  p.Add(1, 1, 1);
+  EXPECT_DOUBLE_EQ(GainedAffinity(*cluster, p), 0.0);
+  LocalSearchStats stats = RefinePlacement(*cluster, p);
+  EXPECT_DOUBLE_EQ(GainedAffinity(*cluster, p), 1.0);
+  EXPECT_GE(stats.moves_applied, 1);
+  EXPECT_NEAR(stats.gain, 1.0, 1e-9);
+  EXPECT_TRUE(p.CheckFeasible(true).ok());
+}
+
+TEST(LocalSearchTest, SwapEscapesCapacityBlockedOptimum) {
+  // Machines are full: moving alone cannot collocate (0,1); swapping the
+  // filler service's container makes room.
+  auto cluster = ClusterBuilder()
+                     .AddService(1, {1.0})   // 0: wants to join 1
+                     .AddService(1, {1.0})   // 1
+                     .AddService(1, {1.0})   // 2: affinity-free filler
+                     .AddService(1, {1.0})   // 3: affinity-free filler
+                     .AddMachine({2.0})
+                     .AddMachine({2.0})
+                     .AddAffinity(0, 1, 1.0)
+                     .Build();
+  Placement p(*cluster);
+  p.Add(0, 0, 1);
+  p.Add(0, 2, 1);
+  p.Add(1, 1, 1);
+  p.Add(1, 3, 1);
+  EXPECT_DOUBLE_EQ(GainedAffinity(*cluster, p), 0.0);
+  LocalSearchOptions options;
+  LocalSearchStats stats = RefinePlacement(*cluster, p, options);
+  EXPECT_DOUBLE_EQ(GainedAffinity(*cluster, p), 1.0);
+  EXPECT_GE(stats.swaps_applied, 1);
+  EXPECT_TRUE(p.CheckFeasible(true).ok());
+}
+
+TEST(LocalSearchTest, SwapsDisabledStaysBlocked) {
+  auto cluster = ClusterBuilder()
+                     .AddService(1, {1.0})
+                     .AddService(1, {1.0})
+                     .AddService(1, {1.0})
+                     .AddService(1, {1.0})
+                     .AddMachine({2.0})
+                     .AddMachine({2.0})
+                     .AddAffinity(0, 1, 1.0)
+                     .Build();
+  Placement p(*cluster);
+  p.Add(0, 0, 1);
+  p.Add(0, 2, 1);
+  p.Add(1, 1, 1);
+  p.Add(1, 3, 1);
+  LocalSearchOptions options;
+  options.enable_swaps = false;
+  RefinePlacement(*cluster, p, options);
+  EXPECT_DOUBLE_EQ(GainedAffinity(*cluster, p), 0.0);
+}
+
+TEST(LocalSearchTest, NeverDecreasesObjectiveOnGeneratedClusters) {
+  for (int seed = 0; seed < 3; ++seed) {
+    ClusterSpec spec = M3Spec(16.0);
+    spec.seed = 700 + seed;
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+    ASSERT_TRUE(snapshot.ok());
+    Placement p = snapshot->original_placement;
+    const double before = GainedAffinity(*snapshot->cluster, p);
+    LocalSearchStats stats = RefinePlacement(*snapshot->cluster, p);
+    const double after = GainedAffinity(*snapshot->cluster, p);
+    EXPECT_GE(after, before - 1e-9);
+    EXPECT_NEAR(after - before, stats.gain, 1e-6);
+    EXPECT_TRUE(p.CheckFeasible(true).ok()) << "seed " << seed;
+  }
+}
+
+TEST(LocalSearchTest, ImprovesOriginalPlacementSubstantially) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M3Spec(16.0));
+  ASSERT_TRUE(snapshot.ok());
+  Placement p = snapshot->original_placement;
+  const double before = GainedAffinity(*snapshot->cluster, p);
+  RefinePlacement(*snapshot->cluster, p);
+  EXPECT_GT(GainedAffinity(*snapshot->cluster, p), 1.2 * before);
+}
+
+TEST(LocalSearchTest, HonorsDeadline) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(32.0));
+  ASSERT_TRUE(snapshot.ok());
+  Placement p = snapshot->original_placement;
+  LocalSearchOptions options;
+  options.deadline = Deadline::AfterSeconds(0.0);
+  LocalSearchStats stats = RefinePlacement(*snapshot->cluster, p, options);
+  EXPECT_TRUE(stats.hit_deadline);
+  EXPECT_EQ(p.DiffCount(snapshot->original_placement), 0);
+}
+
+TEST(LocalSearchTest, StopsWhenConverged) {
+  auto cluster = ClusterBuilder()
+                     .AddService(1, {1.0})
+                     .AddService(1, {1.0})
+                     .AddMachine({4.0})
+                     .AddAffinity(0, 1, 1.0)
+                     .Build();
+  Placement p(*cluster);
+  p.Add(0, 0, 1);
+  p.Add(0, 1, 1);  // already optimal
+  LocalSearchOptions options;
+  options.max_passes = 10;
+  LocalSearchStats stats = RefinePlacement(*cluster, p, options);
+  EXPECT_EQ(stats.moves_applied, 0);
+  EXPECT_EQ(stats.passes, 1);  // one pass with no improvement, then stop
+}
+
+TEST(LocalSearchTest, RasaIntegrationNeverHurts) {
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M3Spec(16.0));
+  ASSERT_TRUE(snapshot.ok());
+  RasaOptions plain;
+  plain.timeout_seconds = 1.0;
+  plain.compute_migration = false;
+  plain.seed = 5;
+  RasaOptions refined = plain;
+  refined.refine_with_local_search = true;
+  refined.timeout_seconds = 2.0;  // leftover budget feeds the refinement
+  RasaOptimizer a(plain, AlgorithmSelector(SelectorPolicy::kHeuristic));
+  RasaOptimizer b(refined, AlgorithmSelector(SelectorPolicy::kHeuristic));
+  StatusOr<RasaResult> ra =
+      a.Optimize(*snapshot->cluster, snapshot->original_placement);
+  StatusOr<RasaResult> rb =
+      b.Optimize(*snapshot->cluster, snapshot->original_placement);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_GE(rb->new_gained_affinity, ra->new_gained_affinity - 1e-9);
+}
+
+}  // namespace
+}  // namespace rasa

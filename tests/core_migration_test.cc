@@ -1,0 +1,194 @@
+#include "core/migration.h"
+
+#include "cluster/first_fit.h"
+#include "cluster/generator.h"
+#include "common/rng.h"
+#include "core/rasa.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace rasa {
+namespace {
+
+using ::rasa::testing::ClusterBuilder;
+
+TEST(MigrationTest, IdentityMappingNeedsNoCommands) {
+  auto cluster = ClusterBuilder().AddService(2, {1.0}).AddMachine({4.0})
+                     .Build();
+  Placement p(*cluster);
+  p.Add(0, 0, 2);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, p, p);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->batches.empty());
+  EXPECT_EQ(plan->total_deletes, 0);
+  EXPECT_TRUE(ValidateMigrationPlan(*cluster, p, p, *plan).ok());
+}
+
+TEST(MigrationTest, SimpleSwapAcrossMachines) {
+  auto cluster = ClusterBuilder()
+                     .AddService(4, {1.0})
+                     .AddMachine({4.0})
+                     .AddMachine({4.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 4);
+  Placement to(*cluster);
+  to.Add(0, 0, 2);
+  to.Add(1, 0, 2);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, from, to);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->total_deletes, 2);
+  EXPECT_EQ(plan->total_creates, 2);
+  EXPECT_EQ(plan->stranded_deletes, 0);
+  EXPECT_TRUE(ValidateMigrationPlan(*cluster, from, to, *plan).ok());
+}
+
+TEST(MigrationTest, TightCapacityForcesDeleteBeforeCreate) {
+  // Both machines are full; the move is only possible by deleting first.
+  auto cluster = ClusterBuilder()
+                     .AddService(2, {2.0})
+                     .AddService(2, {2.0})
+                     .AddMachine({4.0})
+                     .AddMachine({4.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 2);
+  from.Add(1, 1, 2);
+  Placement to(*cluster);  // swap the services
+  to.Add(0, 1, 2);
+  to.Add(1, 0, 2);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, from, to);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidateMigrationPlan(*cluster, from, to, *plan).ok());
+  // First batch must be deletes.
+  ASSERT_FALSE(plan->batches.empty());
+  EXPECT_EQ(plan->batches.front().front().type,
+            MigrationCommandType::kDelete);
+}
+
+TEST(MigrationTest, SlaFloorLimitsParallelDeletes) {
+  // d = 8 with 75% floor: at most 2 containers offline at any time.
+  auto cluster = ClusterBuilder()
+                     .AddService(8, {1.0})
+                     .AddMachine({8.0})
+                     .AddMachine({8.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 8);
+  Placement to(*cluster);
+  to.Add(0, 0, 2);
+  to.Add(1, 0, 6);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, from, to);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(ValidateMigrationPlan(*cluster, from, to, *plan).ok());
+  // Replay and measure the worst-case offline count.
+  Placement current = from;
+  int worst_offline = 0;
+  for (const auto& batch : plan->batches) {
+    for (const MigrationCommand& cmd : batch) {
+      if (cmd.type == MigrationCommandType::kDelete) {
+        ASSERT_TRUE(current.Remove(cmd.machine, cmd.service).ok());
+      } else {
+        current.Add(cmd.machine, cmd.service);
+      }
+    }
+    worst_offline = std::max(worst_offline, 8 - current.TotalOf(0));
+  }
+  EXPECT_LE(worst_offline, 2);
+}
+
+TEST(MigrationTest, StrandedDeletesGoLast) {
+  // Target deploys fewer containers than the original.
+  auto cluster = ClusterBuilder()
+                     .AddService(3, {1.0})
+                     .AddMachine({4.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 3);
+  Placement to(*cluster);
+  to.Add(0, 0, 2);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, from, to);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->stranded_deletes, 1);
+  EXPECT_TRUE(ValidateMigrationPlan(*cluster, from, to, *plan).ok());
+}
+
+TEST(MigrationTest, SummaryMentionsCounts) {
+  MigrationPlan plan;
+  plan.total_deletes = 3;
+  plan.total_creates = 2;
+  plan.batches.resize(2);
+  const std::string s = plan.Summary();
+  EXPECT_NE(s.find("2 batches"), std::string::npos);
+  EXPECT_NE(s.find("3 deletes"), std::string::npos);
+}
+
+TEST(MigrationTest, ValidateCatchesCorruptPlan) {
+  auto cluster = ClusterBuilder()
+                     .AddService(2, {1.0})
+                     .AddMachine({4.0})
+                     .AddMachine({4.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 2);
+  Placement to(*cluster);
+  to.Add(1, 0, 2);
+  MigrationPlan bogus;
+  // Creating before deleting violates the final-state equality.
+  bogus.batches.push_back(
+      {{MigrationCommandType::kCreate, 0, 1}});
+  EXPECT_FALSE(ValidateMigrationPlan(*cluster, from, to, bogus).ok());
+}
+
+TEST(MigrationTest, BatchesAreOneCommandPerMachine) {
+  auto cluster = ClusterBuilder()
+                     .AddService(6, {1.0})
+                     .AddService(6, {1.0})
+                     .AddMachine({12.0})
+                     .AddMachine({12.0})
+                     .Build();
+  Placement from(*cluster);
+  from.Add(0, 0, 6);
+  from.Add(1, 1, 6);
+  Placement to(*cluster);
+  to.Add(0, 0, 3);
+  to.Add(1, 0, 3);
+  to.Add(0, 1, 3);
+  to.Add(1, 1, 3);
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(*cluster, from, to);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& batch : plan->batches) {
+    std::set<int> machines;
+    for (const MigrationCommand& cmd : batch) {
+      EXPECT_TRUE(machines.insert(cmd.machine).second)
+          << "two commands on machine " << cmd.machine << " in one batch";
+    }
+  }
+}
+
+// Property: migration between ORIGINAL and RASA-optimized placements on
+// generated clusters always validates.
+class MigrationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MigrationPropertyTest, RandomReshuffleValidates) {
+  ClusterSpec spec = M3Spec(16.0);
+  spec.seed = 900 + GetParam();
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+  ASSERT_TRUE(snapshot.ok());
+  // A second first-fit with a different seed as the "target" placement.
+  Rng rng(GetParam() + 1);
+  StatusOr<Placement> target = FirstFitPlace(*snapshot->cluster, rng);
+  ASSERT_TRUE(target.ok());
+  StatusOr<MigrationPlan> plan = ComputeMigrationPath(
+      *snapshot->cluster, snapshot->original_placement, *target);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(ValidateMigrationPlan(*snapshot->cluster,
+                                    snapshot->original_placement, *target,
+                                    *plan)
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace rasa

@@ -1,0 +1,169 @@
+#include "core/rasa.h"
+
+#include "cluster/generator.h"
+#include "core/objective.h"
+#include "core/selector_trainer.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+class RasaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterSpec spec = M1Spec(32.0);
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = std::move(snapshot).value();
+  }
+
+  RasaResult Run(RasaOptions options,
+                 SelectorPolicy policy = SelectorPolicy::kHeuristic) {
+    RasaOptimizer optimizer(options, AlgorithmSelector(policy));
+    StatusOr<RasaResult> result =
+        optimizer.Optimize(*snapshot_.cluster, snapshot_.original_placement);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }
+
+  ClusterSnapshot snapshot_;
+};
+
+TEST_F(RasaFixture, ImprovesGainedAffinitySubstantially) {
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaResult result = Run(options);
+  EXPECT_GT(result.new_gained_affinity,
+            1.5 * result.original_gained_affinity);
+  EXPECT_NEAR(result.original_gained_affinity,
+              GainedAffinity(*snapshot_.cluster,
+                             snapshot_.original_placement),
+              1e-12);
+}
+
+TEST_F(RasaFixture, NewPlacementIsFeasibleAndComplete) {
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaResult result = Run(options);
+  EXPECT_TRUE(result.new_placement.CheckFeasible(false).ok());
+  EXPECT_EQ(result.lost_containers, 0);
+  for (int s = 0; s < snapshot_.cluster->num_services(); ++s) {
+    EXPECT_EQ(result.new_placement.TotalOf(s),
+              snapshot_.cluster->service(s).demand)
+        << "service " << s;
+  }
+}
+
+TEST_F(RasaFixture, MigrationPlanValidates) {
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaResult result = Run(options);
+  ASSERT_TRUE(result.should_execute);
+  EXPECT_TRUE(ValidateMigrationPlan(*snapshot_.cluster,
+                                    snapshot_.original_placement,
+                                    result.new_placement, result.migration)
+                  .ok());
+}
+
+TEST_F(RasaFixture, HonorsGlobalTimeout) {
+  RasaOptions options;
+  options.timeout_seconds = 0.4;
+  options.compute_migration = false;
+  Stopwatch timer;
+  RasaResult result = Run(options);
+  // Allow generous slack for the final combination/objective phases.
+  EXPECT_LT(timer.ElapsedSeconds(), 3.0);
+  EXPECT_GE(result.new_gained_affinity, result.original_gained_affinity * 0.9);
+}
+
+TEST_F(RasaFixture, DryRunWhenImprovementBelowThreshold) {
+  RasaOptions options;
+  options.timeout_seconds = 1.0;
+  options.min_improvement = 1e9;  // nothing can clear this bar
+  RasaResult result = Run(options);
+  EXPECT_FALSE(result.should_execute);
+  EXPECT_TRUE(result.migration.batches.empty());
+}
+
+TEST_F(RasaFixture, ReportsPerSubproblemRecords) {
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaResult result = Run(options);
+  ASSERT_FALSE(result.subproblems.empty());
+  EXPECT_EQ(static_cast<int>(result.subproblems.size()),
+            result.partition_stats.num_subproblems);
+  for (const SubproblemReport& sp : result.subproblems) {
+    EXPECT_GT(sp.num_services, 0);
+    EXPECT_GE(sp.internal_affinity, 0.0);
+    EXPECT_GE(sp.seconds, 0.0);
+  }
+}
+
+TEST_F(RasaFixture, AllSelectorPoliciesRun) {
+  for (SelectorPolicy policy :
+       {SelectorPolicy::kAlwaysCg, SelectorPolicy::kAlwaysMip,
+        SelectorPolicy::kHeuristic}) {
+    RasaOptions options;
+    options.timeout_seconds = 1.0;
+    options.compute_migration = false;
+    RasaResult result = Run(options, policy);
+    EXPECT_GT(result.new_gained_affinity, 0.0)
+        << SelectorPolicyToString(policy);
+  }
+}
+
+TEST_F(RasaFixture, GcnSelectorRuns) {
+  GcnClassifier gcn(kSelectorFeatureDim, 8, 2, 5);  // untrained is fine here
+  RasaOptions options;
+  options.timeout_seconds = 1.0;
+  options.compute_migration = false;
+  RasaOptimizer optimizer(options, AlgorithmSelector(std::move(gcn)));
+  StatusOr<RasaResult> result =
+      optimizer.Optimize(*snapshot_.cluster, snapshot_.original_placement);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->new_gained_affinity, 0.0);
+}
+
+TEST_F(RasaFixture, MovedContainersMatchesDiff) {
+  RasaOptions options;
+  options.timeout_seconds = 1.5;
+  RasaResult result = Run(options);
+  EXPECT_EQ(result.moved_containers,
+            result.new_placement.DiffCount(snapshot_.original_placement));
+}
+
+TEST(SelectorTrainerTest, SmallDatasetTrainsBothModels) {
+  SelectorTrainingOptions options;
+  options.num_samples = 12;
+  options.label_timeout_seconds = 0.1;
+  options.cluster_scale = 48.0;
+  options.epochs = 10;
+  SelectorDataset dataset = GenerateSelectorDataset(options);
+  ASSERT_GE(static_cast<int>(dataset.samples.size()), 4);
+  EXPECT_EQ(dataset.cg_labels + dataset.mip_labels,
+            static_cast<int>(dataset.samples.size()));
+  TrainedSelectors trained = TrainSelectors(dataset, options);
+  EXPECT_GT(trained.gcn_train_accuracy, 0.0);
+  EXPECT_GT(trained.mlp_train_accuracy, 0.0);
+  EXPECT_EQ(trained.dataset_size, static_cast<int>(dataset.samples.size()));
+}
+
+TEST(SelectorTrainerTest, GetOrTrainCachesWeights) {
+  const std::string path = "/tmp/rasa_gcn_cache_test.model";
+  std::remove(path.c_str());
+  SelectorTrainingOptions options;
+  options.num_samples = 6;
+  options.label_timeout_seconds = 0.05;
+  options.cluster_scale = 48.0;
+  options.epochs = 4;
+  StatusOr<GcnClassifier> first = GetOrTrainGcn(path, options);
+  ASSERT_TRUE(first.ok());
+  // Second call must hit the cache (fast) and produce identical weights.
+  StatusOr<GcnClassifier> second = GetOrTrainGcn(path, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->Serialize(), second->Serialize());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rasa

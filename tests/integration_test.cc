@@ -1,0 +1,128 @@
+// End-to-end integration tests: the full RASA pipeline against every
+// baseline on generated clusters, plus the periodic workflow. These encode
+// the paper's qualitative claims at test-sized scale.
+
+#include "baselines/baselines.h"
+#include "cluster/generator.h"
+#include "core/objective.h"
+#include "core/rasa.h"
+#include "gtest/gtest.h"
+#include "sim/production.h"
+#include "sim/workflow.h"
+
+namespace rasa {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterSpec spec = M3Spec(8.0);  // the small Table II cluster
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = std::move(snapshot).value();
+  }
+
+  RasaResult RunRasa(double timeout) {
+    RasaOptions options;
+    options.timeout_seconds = timeout;
+    options.compute_migration = false;
+    RasaOptimizer optimizer(options,
+                            AlgorithmSelector(SelectorPolicy::kHeuristic));
+    StatusOr<RasaResult> result =
+        optimizer.Optimize(*snapshot_.cluster, snapshot_.original_placement);
+    EXPECT_TRUE(result.ok());
+    return std::move(result).value();
+  }
+
+  ClusterSnapshot snapshot_;
+};
+
+TEST_F(IntegrationFixture, RasaBeatsEveryBaseline) {
+  const Deadline deadline = Deadline::AfterSeconds(2.0);
+  RasaResult rasa = RunRasa(2.0);
+  StatusOr<BaselineResult> original = RunOriginal(*snapshot_.cluster, 3);
+  StatusOr<BaselineResult> k8s =
+      RunK8sPlus(*snapshot_.cluster, deadline, 3);
+  StatusOr<BaselineResult> pop = RunPop(
+      *snapshot_.cluster, snapshot_.original_placement, deadline, 3);
+  StatusOr<BaselineResult> appl = RunApplsci19(
+      *snapshot_.cluster, snapshot_.original_placement, deadline, 3);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(k8s.ok());
+  ASSERT_TRUE(pop.ok());
+  ASSERT_TRUE(appl.ok());
+  EXPECT_GT(rasa.new_gained_affinity, original->gained_affinity);
+  EXPECT_GT(rasa.new_gained_affinity, pop->gained_affinity);
+  EXPECT_GT(rasa.new_gained_affinity, k8s->gained_affinity);
+  EXPECT_GE(rasa.new_gained_affinity, appl->gained_affinity * 0.95);
+}
+
+TEST_F(IntegrationFixture, LongerBudgetNeverHurtsMuch) {
+  RasaResult fast = RunRasa(0.3);
+  RasaResult slow = RunRasa(3.0);
+  EXPECT_GE(slow.new_gained_affinity, fast.new_gained_affinity * 0.9);
+}
+
+TEST_F(IntegrationFixture, EndToEndProductionStory) {
+  // Optimize, migrate, then verify the production simulator reports
+  // double-digit latency/error improvements (the §V-F story).
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaOptimizer optimizer(options,
+                          AlgorithmSelector(SelectorPolicy::kHeuristic));
+  StatusOr<RasaResult> result =
+      optimizer.Optimize(*snapshot_.cluster, snapshot_.original_placement);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->should_execute);
+  ASSERT_TRUE(ValidateMigrationPlan(*snapshot_.cluster,
+                                    snapshot_.original_placement,
+                                    result->new_placement, result->migration)
+                  .ok());
+  ProductionSimOptions sim;
+  ProductionSimReport report =
+      SimulateProduction(*snapshot_.cluster, result->new_placement,
+                         snapshot_.original_placement, sim);
+  EXPECT_GT(report.latency_improvement, 0.10);
+  EXPECT_GT(report.error_improvement, 0.10);
+  // WITH RASA should close most of the gap to ONLY COLLOCATED.
+  EXPECT_LT(report.latency_gap_to_collocated, 0.5);
+}
+
+TEST_F(IntegrationFixture, ContinuousWorkflowKeepsAffinityHigh) {
+  WorkflowOptions options;
+  options.cycles = 4;
+  options.drift_fraction = 0.05;
+  options.rasa.timeout_seconds = 1.0;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot_.cluster, snapshot_.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok());
+  const double final_affinity =
+      GainedAffinity(*snapshot_.cluster, report->final_placement);
+  const double initial_affinity = GainedAffinity(
+      *snapshot_.cluster, snapshot_.original_placement);
+  EXPECT_GT(final_affinity, initial_affinity);
+  EXPECT_GE(report->executions, 1);
+}
+
+TEST(IntegrationScaleTest, RasaHandlesEveryTableTwoCluster) {
+  for (const ClusterSpec& spec : TableTwoSpecs(64.0)) {
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+    ASSERT_TRUE(snapshot.ok()) << spec.name;
+    RasaOptions options;
+    options.timeout_seconds = 1.0;
+    options.compute_migration = false;
+    RasaOptimizer optimizer(options,
+                            AlgorithmSelector(SelectorPolicy::kHeuristic));
+    StatusOr<RasaResult> result =
+        optimizer.Optimize(*snapshot->cluster, snapshot->original_placement);
+    ASSERT_TRUE(result.ok()) << spec.name;
+    EXPECT_GT(result->new_gained_affinity,
+              result->original_gained_affinity)
+        << spec.name;
+    EXPECT_TRUE(result->new_placement.CheckFeasible(false).ok()) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace rasa

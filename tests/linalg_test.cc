@@ -1,0 +1,183 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "linalg/matrix.h"
+
+namespace rasa {
+namespace {
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulSmallKnown) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  Matrix b(3, 2);
+  // [7 8; 9 10; 11 12]
+  b(0, 0) = 7; b(0, 1) = 8;
+  b(1, 0) = 9; b(1, 1) = 10;
+  b(2, 0) = 11; b(2, 1) = 12;
+  Matrix c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulWithIdentityIsNoop) {
+  Rng rng(1);
+  Matrix a = Matrix::Random(4, 4, 1.0, rng);
+  Matrix b = a.MatMul(Matrix::Identity(4));
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(b(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, TransposeRoundTrips) {
+  Rng rng(2);
+  Matrix a = Matrix::Random(3, 5, 2.0, rng);
+  Matrix att = a.Transpose().Transpose();
+  EXPECT_TRUE(att.SameShape(a));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, TransposeOfProduct) {
+  // (AB)^T == B^T A^T
+  Rng rng(3);
+  Matrix a = Matrix::Random(3, 4, 1.0, rng);
+  Matrix b = Matrix::Random(4, 2, 1.0, rng);
+  Matrix lhs = a.MatMul(b).Transpose();
+  Matrix rhs = b.Transpose().MatMul(a.Transpose());
+  for (int i = 0; i < lhs.rows(); ++i) {
+    for (int j = 0; j < lhs.cols(); ++j) {
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, AddSubScale) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.5);
+  a.AddInPlace(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.5);
+  a.SubInPlace(b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  a.ScaleInPlace(-4.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), -4.0);
+}
+
+TEST(MatrixTest, AddRowBroadcast) {
+  Matrix a(2, 3, 1.0);
+  Matrix row(1, 3);
+  row(0, 0) = 1; row(0, 1) = 2; row(0, 2) = 3;
+  a.AddRowBroadcast(row);
+  EXPECT_DOUBLE_EQ(a(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a(1, 2), 4.0);
+}
+
+TEST(MatrixTest, ReluAndMask) {
+  Matrix a(1, 4);
+  a(0, 0) = -1; a(0, 1) = 0; a(0, 2) = 2; a(0, 3) = -0.5;
+  Matrix r = a.Relu();
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 2), 2.0);
+  Matrix m = a.ReluMask();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(0, 2), 1.0);
+}
+
+TEST(MatrixTest, Hadamard) {
+  Matrix a(1, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  Matrix b(1, 3);
+  b(0, 0) = 4; b(0, 1) = 5; b(0, 2) = 6;
+  Matrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 4);
+  EXPECT_DOUBLE_EQ(h(0, 1), 10);
+  EXPECT_DOUBLE_EQ(h(0, 2), 18);
+}
+
+TEST(MatrixTest, SoftmaxRowsSumToOneAndOrder) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 1000; a(1, 1) = 1001; a(1, 2) = 999;  // numerical stability
+  Matrix s = a.SoftmaxRows();
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_GT(s(i, j), 0.0);
+      sum += s(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(s(0, 2), s(0, 1));
+  EXPECT_GT(s(1, 1), s(1, 0));
+  EXPECT_GT(s(1, 0), s(1, 2));
+}
+
+TEST(MatrixTest, MeanRows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 3;
+  a(1, 0) = 5; a(1, 1) = 7;
+  Matrix m = a.MeanRows();
+  EXPECT_EQ(m.rows(), 1);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+}
+
+TEST(MatrixTest, SumAndNorm) {
+  Matrix a(2, 2);
+  a(0, 0) = 3; a(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(a.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(a.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, RandomRespectsScale) {
+  Rng rng(9);
+  Matrix a = Matrix::Random(10, 10, 0.5, rng);
+  for (int i = 0; i < 10; ++i) {
+    for (int j = 0; j < 10; ++j) {
+      EXPECT_GE(a(i, j), -0.5);
+      EXPECT_LE(a(i, j), 0.5);
+    }
+  }
+}
+
+TEST(MatrixTest, EmptyMatrixBehaves) {
+  Matrix a;
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.0);
+  Matrix m = a.MeanRows();
+  EXPECT_EQ(m.cols(), 0);
+}
+
+TEST(MatrixTest, DebugStringMentionsShape) {
+  Matrix a(3, 2, 1.0);
+  EXPECT_NE(a.DebugString().find("3x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rasa

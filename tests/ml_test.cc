@@ -1,0 +1,245 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/adam.h"
+#include "ml/feature_graph.h"
+#include "ml/gcn.h"
+
+namespace rasa {
+namespace {
+
+// ----------------------------------------------------------------- Adam ---
+
+TEST(AdamTest, MinimizesSimpleQuadratic) {
+  // minimize (w - 3)^2 by feeding grad = 2(w - 3).
+  Matrix w(1, 1, 0.0);
+  AdamOptimizer opt(0.1);
+  for (int step = 0; step < 500; ++step) {
+    Matrix grad(1, 1, 2.0 * (w(0, 0) - 3.0));
+    opt.NextStep();
+    opt.Update(w, grad);
+  }
+  EXPECT_NEAR(w(0, 0), 3.0, 1e-3);
+}
+
+TEST(AdamTest, TracksPerParameterState) {
+  Matrix a(1, 1, 0.0), b(1, 1, 0.0);
+  AdamOptimizer opt(0.1);
+  for (int step = 0; step < 300; ++step) {
+    opt.NextStep();
+    Matrix ga(1, 1, 2.0 * (a(0, 0) - 1.0));
+    Matrix gb(1, 1, 2.0 * (b(0, 0) + 2.0));
+    opt.Update(a, ga);
+    opt.Update(b, gb);
+  }
+  EXPECT_NEAR(a(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(b(0, 0), -2.0, 1e-2);
+}
+
+// --------------------------------------------------------- FeatureGraph ---
+
+TEST(FeatureGraphTest, NormalizedAdjacencyRowsAreBounded) {
+  AffinityGraph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 1.0);
+  FeatureGraph fg = MakeFeatureGraph(g, Matrix(3, 2, 1.0));
+  EXPECT_EQ(fg.a_hat.rows(), 3);
+  // Symmetry.
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(fg.a_hat(i, j), fg.a_hat(j, i), 1e-12);
+    }
+  }
+  // Self-loops make diagonals positive.
+  for (int i = 0; i < 3; ++i) EXPECT_GT(fg.a_hat(i, i), 0.0);
+}
+
+TEST(FeatureGraphTest, IsolatedVertexStillNormalized) {
+  AffinityGraph g(2);  // no edges
+  FeatureGraph fg = MakeFeatureGraph(g, Matrix(2, 1, 1.0));
+  EXPECT_NEAR(fg.a_hat(0, 0), 1.0, 1e-12);  // self-loop only, degree 1
+  EXPECT_NEAR(fg.a_hat(0, 1), 0.0, 1e-12);
+}
+
+// ------------------------------------------------------------------ GCN ---
+
+FeatureGraph DenseGraph(int n, double feature, Rng& rng) {
+  AffinityGraph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.NextBool(0.8)) g.AddEdge(i, j, 1.0);
+    }
+  }
+  Matrix features(n, 2);
+  for (int i = 0; i < n; ++i) {
+    features(i, 0) = feature + 0.05 * rng.NextGaussian();
+    features(i, 1) = 0.5;
+  }
+  return MakeFeatureGraph(g, features);
+}
+
+TEST(GcnTest, ForwardProducesValidDistribution) {
+  Rng rng(1);
+  GcnClassifier model(2, 8, 2, 7);
+  FeatureGraph fg = DenseGraph(6, 0.5, rng);
+  Matrix probs = model.Forward(fg);
+  ASSERT_EQ(probs.rows(), 1);
+  ASSERT_EQ(probs.cols(), 2);
+  EXPECT_NEAR(probs(0, 0) + probs(0, 1), 1.0, 1e-9);
+  EXPECT_GE(probs(0, 0), 0.0);
+}
+
+TEST(GcnTest, LearnsFeatureSeparableLabels) {
+  // Graphs whose vertex features are ~0.2 get label 0; ~0.8 get label 1.
+  Rng rng(2);
+  std::vector<FeatureGraph> graphs;
+  std::vector<int> labels;
+  for (int i = 0; i < 60; ++i) {
+    const int label = i % 2;
+    graphs.push_back(DenseGraph(5 + (i % 4), label == 0 ? 0.2 : 0.8, rng));
+    labels.push_back(label);
+  }
+  GcnClassifier model(2, 8, 2, 11);
+  model.Fit(graphs, labels, 60, 0.02, 3);
+  EXPECT_GE(model.Accuracy(graphs, labels), 0.95);
+}
+
+TEST(GcnTest, LearnsTopologySensitiveLabels) {
+  // Assortative vs disassortative wiring: six vertices, three with high
+  // features and three with low. Label 1 connects like-with-like (two
+  // triangles), label 0 connects across (bipartite). Both classes have the
+  // SAME mean feature vector and edge count, so the MLP is at chance while
+  // the GCN separates them through neighbor aggregation — the paper's §V-C
+  // argument for graph learning.
+  Rng rng(3);
+  std::vector<FeatureGraph> graphs;
+  std::vector<Matrix> means;
+  std::vector<int> labels;
+  for (int i = 0; i < 80; ++i) {
+    const int label = i % 2;
+    const int n = 6;  // vertices 0..2 high, 3..5 low
+    AffinityGraph g(n);
+    if (label == 1) {
+      g.AddEdge(0, 1, 1.0);
+      g.AddEdge(1, 2, 1.0);
+      g.AddEdge(0, 2, 1.0);
+      g.AddEdge(3, 4, 1.0);
+      g.AddEdge(4, 5, 1.0);
+      g.AddEdge(3, 5, 1.0);
+    } else {
+      g.AddEdge(0, 3, 1.0);
+      g.AddEdge(0, 4, 1.0);
+      g.AddEdge(1, 4, 1.0);
+      g.AddEdge(1, 5, 1.0);
+      g.AddEdge(2, 5, 1.0);
+      g.AddEdge(2, 3, 1.0);
+    }
+    Matrix features(n, 2);
+    for (int v = 0; v < n; ++v) {
+      features(v, 0) = (v < 3 ? 1.0 : 0.0) + 0.05 * rng.NextGaussian();
+      features(v, 1) = 0.5;
+    }
+    graphs.push_back(MakeFeatureGraph(g, features));
+    means.push_back(graphs.back().features.MeanRows());
+    labels.push_back(label);
+  }
+  GcnClassifier gcn(2, 12, 2, 5);
+  gcn.Fit(graphs, labels, 150, 0.02, 9);
+  MlpClassifier mlp(2, 12, 2, 5);
+  mlp.Fit(means, labels, 150, 0.02, 9);
+  EXPECT_GT(gcn.Accuracy(graphs, labels), 0.9);
+  // The MLP's inputs are statistically identical across classes.
+  EXPECT_LT(mlp.Accuracy(means, labels), 0.7);
+}
+
+TEST(GcnTest, TrainStepReducesLossOnAverage) {
+  Rng rng(4);
+  FeatureGraph fg = DenseGraph(6, 0.7, rng);
+  GcnClassifier model(2, 8, 2, 13);
+  AdamOptimizer opt(0.05);
+  double first = 0.0, last = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double loss = model.TrainStep(fg, 1, opt);
+    if (i == 0) first = loss;
+    last = loss;
+  }
+  EXPECT_LT(last, first);
+  EXPECT_LT(last, 0.1);
+}
+
+TEST(GcnTest, BackpropMatchesNumericalGradientViaLossDecrease) {
+  // Full gradient check is heavy; instead verify a tiny step along the
+  // computed gradient direction decreases the loss (first-order sanity).
+  Rng rng(5);
+  FeatureGraph fg = DenseGraph(5, 0.4, rng);
+  GcnClassifier model(2, 6, 2, 17);
+  // Loss before.
+  const double p_before = model.Forward(fg)(0, 0);
+  AdamOptimizer opt(0.01);
+  model.TrainStep(fg, 0, opt);
+  const double p_after = model.Forward(fg)(0, 0);
+  EXPECT_GT(p_after, p_before);  // probability of the true label rose
+}
+
+TEST(GcnTest, SerializeRoundTripsPredictions) {
+  Rng rng(6);
+  GcnClassifier model(2, 8, 2, 19);
+  FeatureGraph fg = DenseGraph(7, 0.6, rng);
+  const Matrix before = model.Forward(fg);
+  StatusOr<GcnClassifier> restored =
+      GcnClassifier::Deserialize(model.Serialize());
+  ASSERT_TRUE(restored.ok());
+  const Matrix after = restored->Forward(fg);
+  EXPECT_NEAR(before(0, 0), after(0, 0), 1e-12);
+  EXPECT_NEAR(before(0, 1), after(0, 1), 1e-12);
+}
+
+TEST(GcnTest, SaveLoadFileRoundTrip) {
+  Rng rng(7);
+  GcnClassifier model(2, 4, 2, 23);
+  const std::string path = "/tmp/rasa_gcn_test.model";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  StatusOr<GcnClassifier> loaded = GcnClassifier::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  FeatureGraph fg = DenseGraph(4, 0.3, rng);
+  EXPECT_NEAR(model.Forward(fg)(0, 0), loaded->Forward(fg)(0, 0), 1e-12);
+}
+
+TEST(GcnTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(GcnClassifier::Deserialize("not a model").ok());
+  EXPECT_FALSE(GcnClassifier::Deserialize("gcn-v1\n1 2 0.5").ok());
+}
+
+TEST(GcnTest, LoadMissingFileFails) {
+  EXPECT_FALSE(GcnClassifier::LoadFromFile("/nonexistent/x.model").ok());
+}
+
+// ------------------------------------------------------------------ MLP ---
+
+TEST(MlpTest, LearnsLinearlySeparableInputs) {
+  Rng rng(8);
+  std::vector<Matrix> inputs;
+  std::vector<int> labels;
+  for (int i = 0; i < 100; ++i) {
+    Matrix x(1, 2);
+    const int label = i % 2;
+    x(0, 0) = (label == 0 ? -1.0 : 1.0) + 0.2 * rng.NextGaussian();
+    x(0, 1) = 0.5 * rng.NextGaussian();
+    inputs.push_back(x);
+    labels.push_back(label);
+  }
+  MlpClassifier model(2, 8, 2, 29);
+  model.Fit(inputs, labels, 60, 0.02, 31);
+  EXPECT_GE(model.Accuracy(inputs, labels), 0.95);
+}
+
+TEST(MlpTest, ForwardIsDistribution) {
+  MlpClassifier model(3, 4, 2, 37);
+  Matrix x(1, 3, 0.5);
+  Matrix probs = model.Forward(x);
+  EXPECT_NEAR(probs(0, 0) + probs(0, 1), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rasa

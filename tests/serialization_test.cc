@@ -1,0 +1,99 @@
+#include "cluster/serialization.h"
+
+#include "core/objective.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+// Helper: copy a placement's counts onto another (identical) cluster.
+Placement RebindForTest(const Cluster& cluster, const Placement& placement) {
+  Placement out(cluster);
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& [s, count] : placement.ServicesOn(m)) {
+      out.Add(m, s, count);
+    }
+  }
+  return out;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M1Spec(48.0));
+  ASSERT_TRUE(original.ok());
+  const std::string text = SerializeSnapshot(*original);
+  StatusOr<ClusterSnapshot> restored = DeserializeSnapshot(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+
+  const Cluster& a = *original->cluster;
+  const Cluster& b = *restored->cluster;
+  EXPECT_EQ(restored->name, original->name);
+  EXPECT_EQ(b.num_services(), a.num_services());
+  EXPECT_EQ(b.num_machines(), a.num_machines());
+  EXPECT_EQ(b.num_resources(), a.num_resources());
+  EXPECT_EQ(b.affinity().num_edges(), a.affinity().num_edges());
+  EXPECT_EQ(b.anti_affinity().size(), a.anti_affinity().size());
+  for (int s = 0; s < a.num_services(); ++s) {
+    EXPECT_EQ(b.service(s).name, a.service(s).name);
+    EXPECT_EQ(b.service(s).demand, a.service(s).demand);
+    EXPECT_EQ(b.service(s).platform, a.service(s).platform);
+    EXPECT_EQ(b.service(s).request, a.service(s).request);
+  }
+  for (int m = 0; m < a.num_machines(); ++m) {
+    EXPECT_EQ(b.machine(m).capacity, a.machine(m).capacity);
+    EXPECT_EQ(b.machine(m).spec_id, a.machine(m).spec_id);
+  }
+  // Edge weights to full precision.
+  for (const AffinityEdge& e : a.affinity().edges()) {
+    EXPECT_DOUBLE_EQ(b.affinity().EdgeWeight(e.u, e.v), e.weight);
+  }
+  // Placement identical, so the objective matches bit-for-bit.
+  EXPECT_EQ(restored->original_placement.DiffCount(
+                RebindForTest(b, original->original_placement)),
+            0);
+  EXPECT_DOUBLE_EQ(GainedAffinity(b, restored->original_placement),
+                   GainedAffinity(a, original->original_placement));
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M3Spec(16.0));
+  ASSERT_TRUE(original.ok());
+  const std::string path = "/tmp/rasa_serialization_test.snapshot";
+  ASSERT_TRUE(SaveSnapshotToFile(*original, path).ok());
+  StatusOr<ClusterSnapshot> restored = LoadSnapshotFromFile(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->cluster->num_containers(),
+            original->cluster->num_containers());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(DeserializeSnapshot("").ok());
+  EXPECT_FALSE(DeserializeSnapshot("not-a-snapshot").ok());
+  EXPECT_FALSE(DeserializeSnapshot("rasa-snapshot-v1\nname x\n").ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedBody) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M3Spec(32.0));
+  ASSERT_TRUE(original.ok());
+  std::string text = SerializeSnapshot(*original);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(DeserializeSnapshot(text).ok());
+}
+
+TEST(SerializationTest, RejectsBadPlacementIndices) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M3Spec(32.0));
+  ASSERT_TRUE(original.ok());
+  std::string text = SerializeSnapshot(*original);
+  // Corrupt: replace the placement block with one bogus entry.
+  const size_t pos = text.find("placement ");
+  ASSERT_NE(pos, std::string::npos);
+  text = text.substr(0, pos) + "placement 1\n99999 0 1\nend\n";
+  EXPECT_FALSE(DeserializeSnapshot(text).ok());
+}
+
+TEST(SerializationTest, MissingFileFails) {
+  EXPECT_FALSE(LoadSnapshotFromFile("/nonexistent/foo.snapshot").ok());
+}
+
+}  // namespace
+}  // namespace rasa

@@ -1,0 +1,192 @@
+#include <numeric>
+
+#include "baselines/baselines.h"
+#include "cluster/generator.h"
+#include "core/objective.h"
+#include "gtest/gtest.h"
+#include "sim/production.h"
+#include "sim/workflow.h"
+
+namespace rasa {
+namespace {
+
+double Mean(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0
+                    : std::accumulate(xs.begin(), xs.end(), 0.0) / xs.size();
+}
+
+class SimFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StatusOr<ClusterSnapshot> snapshot = GenerateCluster(M1Spec(32.0));
+    ASSERT_TRUE(snapshot.ok());
+    snapshot_ = std::move(snapshot).value();
+    // A better-collocated placement via the affinity-aware K8S+ baseline.
+    StatusOr<BaselineResult> k8s =
+        RunK8sPlus(*snapshot_.cluster, Deadline::AfterSeconds(30), 2);
+    ASSERT_TRUE(k8s.ok());
+    optimized_ = std::move(k8s->placement);
+  }
+  ClusterSnapshot snapshot_;
+  Placement optimized_;
+};
+
+TEST_F(SimFixture, ProductionSeriesHaveRequestedShape) {
+  ProductionSimOptions options;
+  options.time_steps = 24;
+  ProductionSimReport report = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  EXPECT_EQ(report.pairs.size(), 4u);
+  for (const PairProductionSeries& p : report.pairs) {
+    EXPECT_EQ(p.latency_with.size(), 24u);
+    EXPECT_EQ(p.error_without.size(), 24u);
+  }
+  EXPECT_EQ(report.weighted_latency_with.size(), 24u);
+}
+
+TEST_F(SimFixture, SeriesAreNormalizedToOne) {
+  ProductionSimOptions options;
+  ProductionSimReport report = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  double max_v = 0.0;
+  for (double v : report.weighted_latency_with) max_v = std::max(max_v, v);
+  for (double v : report.weighted_latency_without) max_v = std::max(max_v, v);
+  for (double v : report.weighted_latency_collocated) {
+    max_v = std::max(max_v, v);
+  }
+  EXPECT_NEAR(max_v, 1.0, 1e-9);
+}
+
+TEST_F(SimFixture, CollocatedIsTheLowerEnvelope) {
+  ProductionSimOptions options;
+  ProductionSimReport report = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  EXPECT_LE(Mean(report.weighted_latency_collocated),
+            Mean(report.weighted_latency_with) + 1e-9);
+  EXPECT_LE(Mean(report.weighted_error_collocated),
+            Mean(report.weighted_error_with) + 1e-9);
+}
+
+TEST_F(SimFixture, BetterPlacementImprovesLatencyAndErrors) {
+  ProductionSimOptions options;
+  ProductionSimReport report = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  // The optimized placement localizes strictly more traffic, so the
+  // cluster-wide improvements are positive.
+  EXPECT_GT(report.latency_improvement, 0.0);
+  EXPECT_GT(report.error_improvement, 0.0);
+  EXPECT_LT(report.latency_improvement, 1.0);
+  EXPECT_LT(report.error_improvement, 1.0);
+}
+
+TEST_F(SimFixture, IdenticalPlacementsShowNoImprovement) {
+  ProductionSimOptions options;
+  ProductionSimReport report =
+      SimulateProduction(*snapshot_.cluster, snapshot_.original_placement,
+                         snapshot_.original_placement, options);
+  EXPECT_NEAR(report.latency_improvement, 0.0, 1e-9);
+  EXPECT_NEAR(report.error_improvement, 0.0, 1e-9);
+}
+
+TEST_F(SimFixture, TrackedPairsAreTheHeaviest) {
+  ProductionSimOptions options;
+  ProductionSimReport report = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options,
+      /*tracked_pairs=*/2);
+  ASSERT_EQ(report.pairs.size(), 2u);
+  // All edges have weight <= the first tracked pair's weight.
+  double max_weight = 0.0;
+  for (const AffinityEdge& e : snapshot_.cluster->affinity().edges()) {
+    max_weight = std::max(max_weight, e.weight);
+  }
+  EXPECT_DOUBLE_EQ(report.pairs[0].qps_weight, max_weight);
+}
+
+TEST_F(SimFixture, DeterministicInSeed) {
+  ProductionSimOptions options;
+  ProductionSimReport a = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  ProductionSimReport b = SimulateProduction(
+      *snapshot_.cluster, optimized_, snapshot_.original_placement, options);
+  EXPECT_EQ(a.weighted_latency_with, b.weighted_latency_with);
+}
+
+// ------------------------------------------------------------- Workflow ---
+
+TEST_F(SimFixture, CollectClusterStatePreservesStructure) {
+  CollectedState state = CollectClusterState(
+      *snapshot_.cluster, snapshot_.original_placement, 0.1, 7);
+  EXPECT_EQ(state.measured_cluster->num_services(),
+            snapshot_.cluster->num_services());
+  EXPECT_EQ(state.measured_cluster->affinity().num_edges(),
+            snapshot_.cluster->affinity().num_edges());
+  EXPECT_NEAR(state.measured_cluster->affinity().TotalWeight(), 1.0, 1e-9);
+  EXPECT_EQ(state.placement.DiffCount(snapshot_.original_placement), 0);
+}
+
+TEST_F(SimFixture, ZeroNoiseCollectionIsExact) {
+  CollectedState state = CollectClusterState(
+      *snapshot_.cluster, snapshot_.original_placement, 0.0, 7);
+  for (const AffinityEdge& e : snapshot_.cluster->affinity().edges()) {
+    EXPECT_NEAR(state.measured_cluster->affinity().EdgeWeight(e.u, e.v),
+                e.weight, 1e-9);
+  }
+}
+
+TEST_F(SimFixture, WorkflowRunsCyclesAndKeepsFeasibility) {
+  WorkflowOptions options;
+  options.cycles = 3;
+  options.rasa.timeout_seconds = 0.8;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot_.cluster, snapshot_.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cycles.size(), 3u);
+  EXPECT_TRUE(report->final_placement.CheckFeasible(true).ok());
+  EXPECT_EQ(report->executions + report->dry_runs + report->rollbacks, 3);
+}
+
+TEST_F(SimFixture, WorkflowFirstCycleImprovesAffinity) {
+  WorkflowOptions options;
+  options.cycles = 1;
+  options.drift_fraction = 0.0;
+  options.rasa.timeout_seconds = 1.5;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot_.cluster, snapshot_.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->cycles.size(), 1u);
+  EXPECT_GT(report->cycles[0].affinity_after,
+            report->cycles[0].affinity_before);
+  EXPECT_TRUE(report->cycles[0].executed);
+}
+
+TEST_F(SimFixture, AggressiveRollbackThresholdTriggersRollback) {
+  WorkflowOptions options;
+  options.cycles = 1;
+  options.rollback_utilization_threshold = 0.0;  // everything rolls back
+  options.rasa.timeout_seconds = 0.8;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot_.cluster, snapshot_.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rollbacks, 1);
+  // Rolled back: placement unchanged except drift.
+  EXPECT_FALSE(report->cycles[0].executed);
+}
+
+TEST_F(SimFixture, DryRunThresholdBlocksExecution) {
+  WorkflowOptions options;
+  options.cycles = 1;
+  options.rasa.timeout_seconds = 0.8;
+  options.rasa.min_improvement = 1e9;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot_.cluster, snapshot_.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->dry_runs, 1);
+  EXPECT_EQ(report->cycles[0].moved_containers, 0);
+}
+
+}  // namespace
+}  // namespace rasa

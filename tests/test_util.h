@@ -1,0 +1,72 @@
+#ifndef RASA_TESTS_TEST_UTIL_H_
+#define RASA_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+
+namespace rasa::testing {
+
+/// Builder for small hand-crafted clusters used across core tests.
+class ClusterBuilder {
+ public:
+  explicit ClusterBuilder(int num_resources = 1)
+      : resource_names_(num_resources == 1
+                            ? std::vector<std::string>{"cpu"}
+                            : std::vector<std::string>{"cpu", "mem"}) {}
+
+  /// Adds a service; `request` must match the resource count.
+  ClusterBuilder& AddService(int demand, std::vector<double> request,
+                             int platform = 0) {
+    Service s;
+    s.name = "svc" + std::to_string(services_.size());
+    s.demand = demand;
+    s.request = std::move(request);
+    s.platform = platform;
+    services_.push_back(std::move(s));
+    return *this;
+  }
+
+  ClusterBuilder& AddMachine(std::vector<double> capacity, int spec = 0,
+                             int platform = 0) {
+    Machine m;
+    m.name = "m" + std::to_string(machines_.size());
+    m.spec_id = spec;
+    m.capacity = std::move(capacity);
+    m.platform = platform;
+    machines_.push_back(std::move(m));
+    return *this;
+  }
+
+  ClusterBuilder& AddAffinity(int u, int v, double w) {
+    edges_.push_back({u, v, w});
+    return *this;
+  }
+
+  ClusterBuilder& AddRule(std::vector<int> services, int limit) {
+    rules_.push_back({std::move(services), limit});
+    return *this;
+  }
+
+  /// Builds a shared cluster (placements keep pointers into it).
+  std::shared_ptr<Cluster> Build() {
+    AffinityGraph g(static_cast<int>(services_.size()));
+    for (const auto& e : edges_) g.AddEdge(e.u, e.v, e.weight);
+    return std::make_shared<Cluster>(resource_names_, services_, machines_,
+                                     std::move(g), rules_);
+  }
+
+ private:
+  std::vector<std::string> resource_names_;
+  std::vector<Service> services_;
+  std::vector<Machine> machines_;
+  std::vector<AffinityEdge> edges_;
+  std::vector<AntiAffinityRule> rules_;
+};
+
+}  // namespace rasa::testing
+
+#endif  // RASA_TESTS_TEST_UTIL_H_
