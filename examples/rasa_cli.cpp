@@ -9,6 +9,10 @@
 //       Run the RASA algorithm on the snapshot; print the improvement and
 //       the migration plan summary; optionally write the optimized
 //       snapshot back to disk.
+//   rasa_cli workflow <in.snapshot> [cycles] [fail_prob] [cordon_after] [seed]
+//       Simulate the periodic CronJob workflow with the hardened migration
+//       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
+//       harness injects command failures / a mid-migration machine cordon.
 
 #include <cstdio>
 #include <cstdlib>
@@ -18,17 +22,21 @@
 #include "core/objective.h"
 #include "core/rasa.h"
 #include "graph/powerlaw_fit.h"
+#include "sim/workflow.h"
 
 namespace {
 
 using namespace rasa;
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
-               "  rasa_cli stats <in.snapshot>\n"
-               "  rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]\n");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
+      "  rasa_cli stats <in.snapshot>\n"
+      "  rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]\n"
+      "  rasa_cli workflow <in.snapshot> [cycles] [fail_prob] [cordon_after] "
+      "[seed]\n");
   return 2;
 }
 
@@ -135,6 +143,58 @@ int Optimize(int argc, char** argv) {
   return 0;
 }
 
+int Workflow(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  WorkflowOptions options;
+  options.cycles = argc > 3 ? std::atoi(argv[3]) : 6;
+  const double fail_prob = argc > 4 ? std::atof(argv[4]) : 0.0;
+  const long cordon_after = argc > 5 ? std::atol(argv[5]) : -1;
+  options.seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 99;
+  options.inject_faults = fail_prob > 0.0 || cordon_after >= 0;
+  options.faults.command_failure_probability = fail_prob;
+  options.faults.cordon_after_commands = cordon_after;
+  options.faults.seed = options.seed + 1;
+
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot->cluster, snapshot->original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "workflow: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t c = 0; c < report->cycles.size(); ++c) {
+    const CycleReport& cr = report->cycles[c];
+    std::printf(
+        "cycle %2zu: affinity %.4f -> %.4f%s%s, %d moved, %d batches, "
+        "%d cmd failures, %d retries, %d replans (%.2fs)\n",
+        c, cr.affinity_before, cr.affinity_after,
+        cr.executed ? (cr.reached_target ? " [executed]" : " [partial]")
+                    : (cr.rolled_back ? " [rolled back]" : " [dry-run]"),
+        cr.solver_failed ? " [solver failed]" : "", cr.moved_containers,
+        cr.migration_batches, cr.commands_failed, cr.command_retries,
+        cr.replans, cr.seconds);
+  }
+  std::printf(
+      "totals: %d executions (%d partial), %d dry-runs, %d rollbacks, "
+      "%d solver failures\n",
+      report->executions, report->partial_executions, report->dry_runs,
+      report->rollbacks, report->solver_failures);
+  std::printf(
+      "chaos:  %d command failures, %d retries, %d replans, "
+      "%d SLA violations, %d feasibility violations\n",
+      report->commands_failed, report->command_retries, report->replans,
+      report->sla_violations, report->feasibility_violations);
+  std::printf("final gained affinity: %.4f (feasible: %s)\n",
+              GainedAffinity(*snapshot->cluster, report->final_placement),
+              report->final_placement.CheckFeasible(true).ok() ? "yes" : "no");
+  return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -142,5 +202,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
   if (std::strcmp(argv[1], "optimize") == 0) return Optimize(argc, argv);
+  if (std::strcmp(argv[1], "workflow") == 0) return Workflow(argc, argv);
   return Usage();
 }

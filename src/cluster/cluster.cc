@@ -1,6 +1,7 @@
 #include "cluster/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/strings.h"
 
@@ -56,9 +57,10 @@ Status Cluster::Validate() const {
           svc.name.c_str(), svc.request.size(), R));
     }
     for (double r : svc.request) {
-      if (r < 0.0) {
-        return InvalidArgumentError(
-            StrFormat("service %s has negative request", svc.name.c_str()));
+      if (!std::isfinite(r) || r < 0.0) {
+        return InvalidArgumentError(StrFormat(
+            "service %s has negative or non-finite request",
+            svc.name.c_str()));
       }
     }
   }
@@ -67,6 +69,13 @@ Status Cluster::Validate() const {
       return InvalidArgumentError(StrFormat(
           "machine %s has %zu capacities, expected %d",
           machines_[m].name.c_str(), machines_[m].capacity.size(), R));
+    }
+    for (double c : machines_[m].capacity) {
+      if (!std::isfinite(c) || c < 0.0) {
+        return InvalidArgumentError(StrFormat(
+            "machine %s has negative or non-finite capacity",
+            machines_[m].name.c_str()));
+      }
     }
   }
   if (affinity_.num_vertices() != num_services()) {

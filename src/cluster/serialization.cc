@@ -1,5 +1,8 @@
 #include "cluster/serialization.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +12,20 @@ namespace rasa {
 namespace {
 
 constexpr char kMagic[] = "rasa-snapshot-v1";
+
+// Hard caps on header-declared counts. A corrupt or hostile header must not
+// be able to drive a multi-gigabyte allocation (or an int overflow) before
+// the truncated body is even read; containers are also built incrementally
+// below so a lying count fails on the first missing record, not on reserve.
+constexpr int kMaxEntities = 10'000'000;       // services, machines, rules
+constexpr int kMaxEdges = 100'000'000;         // affinity edges
+constexpr int kMaxPlacementEntries = 20'000'000;
+constexpr int kMaxDemand = 10'000'000;         // containers per service
+constexpr int64_t kMaxTotalContainers = 1'000'000'000;
+
+// Resource amounts must be finite and non-negative (NaN slips past plain
+// `< 0` comparisons and poisons every downstream computation).
+bool SaneAmount(double x) { return std::isfinite(x) && x >= 0.0; }
 
 }  // namespace
 
@@ -94,39 +111,61 @@ StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
 
   RASA_RETURN_IF_ERROR(expect("services"));
   int num_services = 0;
-  if (!(is >> num_services) || num_services < 0) {
+  if (!(is >> num_services) || num_services < 0 ||
+      num_services > kMaxEntities) {
     return InvalidArgumentError("bad service count");
   }
-  std::vector<Service> services(num_services);
-  for (Service& s : services) {
+  std::vector<Service> services;
+  services.reserve(std::min(num_services, 65536));
+  int64_t total_containers = 0;
+  for (int i = 0; i < num_services; ++i) {
+    Service s;
     if (!(is >> s.name >> s.demand >> s.platform)) {
       return InvalidArgumentError("truncated service record");
     }
+    if (s.demand < 0 || s.demand > kMaxDemand) {
+      return InvalidArgumentError(
+          StrFormat("implausible demand %d for service %s", s.demand,
+                    s.name.c_str()));
+    }
+    total_containers += s.demand;
+    if (total_containers > kMaxTotalContainers) {
+      return InvalidArgumentError("total demand overflows container count");
+    }
     s.request.resize(num_resources);
     for (double& r : s.request) {
-      if (!(is >> r)) return InvalidArgumentError("truncated service request");
+      if (!(is >> r) || !SaneAmount(r)) {
+        return InvalidArgumentError("bad service request value");
+      }
     }
+    services.push_back(std::move(s));
   }
 
   RASA_RETURN_IF_ERROR(expect("machines"));
   int num_machines = 0;
-  if (!(is >> num_machines) || num_machines < 0) {
+  if (!(is >> num_machines) || num_machines < 0 ||
+      num_machines > kMaxEntities) {
     return InvalidArgumentError("bad machine count");
   }
-  std::vector<Machine> machines(num_machines);
-  for (Machine& m : machines) {
+  std::vector<Machine> machines;
+  machines.reserve(std::min(num_machines, 65536));
+  for (int i = 0; i < num_machines; ++i) {
+    Machine m;
     if (!(is >> m.name >> m.spec_id >> m.platform)) {
       return InvalidArgumentError("truncated machine record");
     }
     m.capacity.resize(num_resources);
     for (double& c : m.capacity) {
-      if (!(is >> c)) return InvalidArgumentError("truncated capacity");
+      if (!(is >> c) || !SaneAmount(c)) {
+        return InvalidArgumentError("bad capacity value");
+      }
     }
+    machines.push_back(std::move(m));
   }
 
   RASA_RETURN_IF_ERROR(expect("affinity"));
   int num_edges = 0;
-  if (!(is >> num_edges) || num_edges < 0) {
+  if (!(is >> num_edges) || num_edges < 0 || num_edges > kMaxEdges) {
     return InvalidArgumentError("bad edge count");
   }
   AffinityGraph affinity(num_services);
@@ -134,16 +173,21 @@ StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
     int u = 0, v = 0;
     double w = 0.0;
     if (!(is >> u >> v >> w)) return InvalidArgumentError("truncated edge");
+    // AddEdge bounds-checks the endpoints and rejects non-positive (and
+    // NaN) weights; infinities are rejected here.
+    if (!std::isfinite(w)) return InvalidArgumentError("non-finite weight");
     RASA_RETURN_IF_ERROR(affinity.AddEdge(u, v, w));
   }
 
   RASA_RETURN_IF_ERROR(expect("anti_affinity"));
   int num_rules = 0;
-  if (!(is >> num_rules) || num_rules < 0) {
+  if (!(is >> num_rules) || num_rules < 0 || num_rules > kMaxEntities) {
     return InvalidArgumentError("bad rule count");
   }
-  std::vector<AntiAffinityRule> rules(num_rules);
-  for (AntiAffinityRule& rule : rules) {
+  std::vector<AntiAffinityRule> rules;
+  rules.reserve(std::min(num_rules, 65536));
+  for (int i = 0; i < num_rules; ++i) {
+    AntiAffinityRule rule;
     size_t members = 0;
     if (!(is >> rule.max_per_machine >> members) || members > 1u << 20) {
       return InvalidArgumentError("truncated rule");
@@ -152,6 +196,7 @@ StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
     for (int& s : rule.services) {
       if (!(is >> s)) return InvalidArgumentError("truncated rule members");
     }
+    rules.push_back(std::move(rule));
   }
 
   snapshot.cluster = std::make_shared<Cluster>(
@@ -161,19 +206,24 @@ StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
 
   RASA_RETURN_IF_ERROR(expect("placement"));
   int entries = 0;
-  if (!(is >> entries) || entries < 0) {
+  if (!(is >> entries) || entries < 0 || entries > kMaxPlacementEntries) {
     return InvalidArgumentError("bad placement count");
   }
   snapshot.original_placement = Placement(*snapshot.cluster);
+  int64_t placed = 0;
   for (int i = 0; i < entries; ++i) {
     int m = 0, s = 0, count = 0;
     if (!(is >> m >> s >> count)) {
       return InvalidArgumentError("truncated placement entry");
     }
     if (m < 0 || m >= num_machines || s < 0 || s >= num_services ||
-        count <= 0) {
+        count <= 0 || count > kMaxDemand) {
       return InvalidArgumentError(
           StrFormat("bad placement entry (%d, %d, %d)", m, s, count));
+    }
+    placed += count;
+    if (placed > kMaxTotalContainers) {
+      return InvalidArgumentError("placement overflows container count");
     }
     snapshot.original_placement.Add(m, s, count);
   }

@@ -1,0 +1,28 @@
+#include "common/retry.h"
+
+#include <cmath>
+
+namespace rasa {
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInternal:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng& rng) {
+  const double multiplier = std::max(1.0, policy.backoff_multiplier);
+  double base = policy.initial_backoff_seconds *
+                std::pow(multiplier, std::max(0, attempt));
+  base = std::min(base, policy.max_backoff_seconds);
+  const double jitter =
+      std::clamp(policy.jitter_fraction, 0.0, 1.0) * rng.NextDouble(-1.0, 1.0);
+  return std::max(0.0, base * (1.0 + jitter));
+}
+
+}  // namespace rasa

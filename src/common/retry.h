@@ -1,0 +1,83 @@
+#ifndef RASA_COMMON_RETRY_H_
+#define RASA_COMMON_RETRY_H_
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace rasa {
+
+/// Bounded-retry policy with exponential backoff and deterministic jitter.
+/// Backoff is *accounted*, not slept: callers run in simulated time (the
+/// CronJob executor charges it against its deadline), so retries stay
+/// reproducible bit-for-bit from the caller's `Rng`.
+struct RetryPolicy {
+  /// Total attempts including the first one (1 = no retries).
+  int max_attempts = 4;
+  double initial_backoff_seconds = 0.05;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 2.0;
+  /// Uniform +/- relative jitter applied to each backoff interval.
+  double jitter_fraction = 0.25;
+  /// Per-attempt deadline handed to the callee; 0 = the overall deadline.
+  double attempt_timeout_seconds = 0.0;
+};
+
+/// Whether an error is worth retrying. Precondition-style failures mean the
+/// command can never succeed as issued (e.g. deleting an absent container);
+/// internal/exhaustion errors are treated as transient infrastructure
+/// hiccups.
+bool IsRetryable(StatusCode code);
+
+/// Backoff before retry number `attempt` (0-based), with jitter drawn from
+/// `rng`. Deterministic in (policy, attempt, rng state); never negative.
+double BackoffSeconds(const RetryPolicy& policy, int attempt, Rng& rng);
+
+/// Counters accumulated by RetryCall.
+struct RetryStats {
+  int attempts = 0;
+  int retries = 0;
+  double backoff_seconds = 0.0;  // simulated time spent backing off
+};
+
+/// Runs `fn(attempt_deadline)` until it succeeds, fails permanently, runs
+/// out of attempts, or would blow `deadline` (the backoff interval is
+/// charged against the remaining time before each retry). Returns the last
+/// status observed.
+template <typename Fn>
+Status RetryCall(const RetryPolicy& policy, const Deadline& deadline, Rng& rng,
+                 Fn&& fn, RetryStats* stats = nullptr) {
+  RetryStats local;
+  RetryStats& st = stats != nullptr ? *stats : local;
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Status last = InternalError("retry loop made no attempts");
+  double charged_backoff = 0.0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (deadline.Expired()) {
+      return DeadlineExceededError("retry budget exhausted before attempt");
+    }
+    const Deadline attempt_deadline =
+        policy.attempt_timeout_seconds > 0.0
+            ? deadline.ClampedToSeconds(policy.attempt_timeout_seconds)
+            : deadline;
+    ++st.attempts;
+    last = fn(attempt_deadline);
+    if (last.ok() || !IsRetryable(last.code())) return last;
+    if (attempt + 1 < max_attempts) {
+      const double backoff = BackoffSeconds(policy, attempt, rng);
+      // Backing off past the deadline would be pointless; give up now.
+      charged_backoff += backoff;
+      if (charged_backoff >= deadline.RemainingSeconds()) return last;
+      st.backoff_seconds += backoff;
+      ++st.retries;
+    }
+  }
+  return last;
+}
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_RETRY_H_

@@ -1,0 +1,322 @@
+#include "core/migration_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace rasa {
+
+Status PlacementActions::Create(int machine, int service) {
+  if (!live_.CanPlace(machine, service)) {
+    return FailedPreconditionError(
+        StrFormat("create of service %d on machine %d infeasible", service,
+                  machine));
+  }
+  live_.Add(machine, service);
+  return Status::OK();
+}
+
+namespace {
+
+// Same rolling-update floor as the planner: small services may always have
+// one container offline.
+int FloorAlive(const Cluster& cluster, int service, double fraction) {
+  const int d = cluster.service(service).demand;
+  return std::min(d - 1, static_cast<int>(std::ceil(fraction * d)));
+}
+
+// Re-binds `src` counts to a placement over `cluster` (the target usually
+// references the measured-cluster copy of the same shape).
+Placement CopyCounts(const Cluster& cluster, const Placement& src) {
+  Placement out(cluster);
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& [s, count] : src.ServicesOn(m)) out.Add(m, s, count);
+  }
+  return out;
+}
+
+// DiffCount alone is one-sided (containers `a` has that `b` lacks); an
+// under-deployed live state is a strict subset of the target and would
+// read as converged. Convergence needs the symmetric difference.
+int SymmetricDiff(const Placement& a, const Placement& b) {
+  return a.DiffCount(b) + b.DiffCount(a);
+}
+
+// Post-batch audit: resource/anti-affinity feasibility plus the SLA floor
+// against the actually-reached state.
+void AuditPartialStep(const Cluster& cluster, const Placement& live,
+                      double min_alive_fraction,
+                      MigrationExecutionReport& report) {
+  if (!live.CheckFeasible(/*check_sla=*/false).ok()) {
+    ++report.feasibility_violations;
+  }
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    if (live.TotalOf(s) < FloorAlive(cluster, s, min_alive_fraction)) {
+      ++report.sla_violations;
+    }
+  }
+}
+
+// Least-allocated available machine that can take one container of `s` in
+// `placement`; -1 if none.
+int BestAvailableMachine(const Cluster& cluster, const Placement& placement,
+                         const ClusterActions& actions, int s) {
+  int best = -1;
+  double best_score = -1.0;
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    if (!actions.Available(m) || !placement.CanPlace(m, s)) continue;
+    double min_free_frac = 1.0;
+    for (int r = 0; r < cluster.num_resources(); ++r) {
+      const double cap = cluster.machine(m).capacity[r];
+      if (cap <= 0.0) continue;
+      min_free_frac = std::min(min_free_frac, placement.FreeResource(m, r) / cap);
+    }
+    if (min_free_frac > best_score) {
+      best_score = min_free_frac;
+      best = m;
+    }
+  }
+  return best;
+}
+
+// Rewrites `desired` so no command would target an unavailable machine:
+// creates planned there move to available machines (or the planned move is
+// cancelled, keeping the container at its source); deletes planned there
+// are abandoned, cancelling the matched create elsewhere. After this,
+// desired == live on every unavailable machine, so a recomputed path never
+// touches one.
+void AdjustTargetForUnavailable(const Cluster& cluster, const Placement& live,
+                                Placement& desired,
+                                const ClusterActions& actions,
+                                MigrationExecutionReport& report) {
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    if (actions.Available(m)) continue;
+    // Snapshot the per-service deltas before mutating.
+    std::vector<std::pair<int, int>> deltas;  // (service, want - cur)
+    for (int s = 0; s < cluster.num_services(); ++s) {
+      const int delta = desired.CountOn(m, s) - live.CountOn(m, s);
+      if (delta != 0) deltas.push_back({s, delta});
+    }
+    for (const auto& [s, delta] : deltas) {
+      if (delta > 0) {
+        // Creates on m are impossible: place the containers elsewhere.
+        RASA_CHECK(desired.Remove(m, s, delta).ok());
+        for (int i = 0; i < delta; ++i) {
+          int dest = BestAvailableMachine(cluster, desired, actions, s);
+          if (dest < 0) {
+            // Cancel the planned move instead: leave the container where it
+            // currently lives (a machine with a planned surplus delete).
+            for (int d = 0; d < cluster.num_machines(); ++d) {
+              if (d != m && desired.CountOn(d, s) < live.CountOn(d, s) &&
+                  desired.CanPlace(d, s)) {
+                dest = d;
+                break;
+              }
+            }
+          }
+          if (dest >= 0) {
+            desired.Add(dest, s);
+          } else {
+            ++report.dropped_containers;
+          }
+        }
+      } else {
+        // Deletes on m are impossible: the containers stay; cancel the
+        // matched creates elsewhere so service totals stay balanced.
+        desired.Add(m, s, -delta);
+        int to_cancel = -delta;
+        for (int d = 0; d < cluster.num_machines() && to_cancel > 0; ++d) {
+          if (d == m) continue;
+          const int cancellable =
+              std::min(to_cancel, desired.CountOn(d, s) - live.CountOn(d, s));
+          if (cancellable > 0) {
+            RASA_CHECK(desired.Remove(d, s, cancellable).ok());
+            to_cancel -= cancellable;
+          }
+        }
+        // Any remainder's matched create already executed (or the target
+        // shrinks the service): compensate with a surplus delete on an
+        // available machine so the service does not stay over-deployed.
+        for (int d = 0; d < cluster.num_machines() && to_cancel > 0; ++d) {
+          if (d == m || !actions.Available(d)) continue;
+          const int removable = std::min(to_cancel, desired.CountOn(d, s));
+          if (removable > 0) {
+            RASA_CHECK(desired.Remove(d, s, removable).ok());
+            to_cancel -= removable;
+          }
+        }
+        // Only if every other replica also sits on unavailable machines
+        // does the surplus genuinely stay until a machine returns.
+      }
+    }
+  }
+}
+
+// Services left under-deployed by permanently failed creates would deadlock
+// ComputeMigrationPath (creates there are gated on matching deletes), so
+// missing containers are re-created directly — creates only raise alive
+// counts, hence are always SLA-safe. Whatever cannot be recreated anywhere
+// is dropped from the desired target so the next path stays balanced.
+void RepairDeficits(const Cluster& cluster, Placement& live,
+                    Placement& desired, ClusterActions& actions,
+                    const MigrationExecutorOptions& options, Rng& rng,
+                    MigrationExecutionReport& report) {
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    while (live.TotalOf(s) < desired.TotalOf(s)) {
+      // Prefer machines the target actually wants the container on.
+      int dest = -1;
+      for (int m = 0; m < cluster.num_machines(); ++m) {
+        if (desired.CountOn(m, s) > live.CountOn(m, s) &&
+            actions.Available(m) && live.CanPlace(m, s)) {
+          dest = m;
+          break;
+        }
+      }
+      if (dest < 0) dest = BestAvailableMachine(cluster, live, actions, s);
+      bool created = false;
+      if (dest >= 0) {
+        RetryStats st;
+        const Status status = RetryCall(
+            options.retry, options.deadline, rng,
+            [&](const Deadline&) { return actions.Create(dest, s); }, &st);
+        report.retries += st.retries;
+        report.backoff_seconds += st.backoff_seconds;
+        ++report.commands_attempted;
+        if (status.ok()) {
+          ++report.commands_succeeded;
+          created = true;
+        } else {
+          ++report.commands_failed;
+        }
+      }
+      if (!created) {
+        // Shrink the desired target by one container of s (preferring a
+        // machine with a deficit) and record the loss.
+        int victim = -1;
+        for (int m = 0; m < cluster.num_machines(); ++m) {
+          if (desired.CountOn(m, s) > live.CountOn(m, s)) {
+            victim = m;
+            break;
+          }
+        }
+        if (victim < 0) break;  // totals already consistent; defensive
+        RASA_CHECK(desired.Remove(victim, s).ok());
+        ++report.dropped_containers;
+      }
+    }
+  }
+}
+
+// One pass over the plan: every command attempted with retry/backoff, the
+// SLA floor re-checked against the actual state before each delete, and the
+// full invariants audited after every (possibly partial) batch.
+void ExecutePass(const Cluster& cluster, Placement& live,
+                 const MigrationPlan& plan, ClusterActions& actions,
+                 const MigrationExecutorOptions& options, Rng& rng,
+                 MigrationExecutionReport& report) {
+  for (const std::vector<MigrationCommand>& batch : plan.batches) {
+    bool incomplete = false;
+    for (const MigrationCommand& cmd : batch) {
+      if (options.deadline.Expired()) return;
+      if (cmd.type == MigrationCommandType::kDelete) {
+        // The planner's floor assumed every earlier create succeeded; the
+        // actual state may be lower, so re-verify before deleting.
+        if (live.TotalOf(cmd.service) - 1 <
+            FloorAlive(cluster, cmd.service, options.min_alive_fraction)) {
+          ++report.commands_deferred;
+          incomplete = true;
+          continue;
+        }
+      } else if (!live.CanPlace(cmd.machine, cmd.service)) {
+        // Stale plan (snapshot drift): the slot is gone; re-plan later.
+        ++report.commands_failed;
+        incomplete = true;
+        continue;
+      }
+      if (!actions.Available(cmd.machine)) {
+        ++report.commands_failed;
+        incomplete = true;
+        continue;
+      }
+      RetryStats st;
+      const Status status = RetryCall(
+          options.retry, options.deadline, rng,
+          [&](const Deadline&) {
+            return cmd.type == MigrationCommandType::kDelete
+                       ? actions.Delete(cmd.machine, cmd.service)
+                       : actions.Create(cmd.machine, cmd.service);
+          },
+          &st);
+      report.retries += st.retries;
+      report.backoff_seconds += st.backoff_seconds;
+      ++report.commands_attempted;
+      if (status.ok()) {
+        ++report.commands_succeeded;
+      } else {
+        ++report.commands_failed;
+        incomplete = true;
+      }
+    }
+    ++report.batches_executed;
+    if (incomplete) ++report.partial_batches;
+    AuditPartialStep(cluster, live, options.min_alive_fraction, report);
+  }
+}
+
+}  // namespace
+
+MigrationExecutionReport ExecuteMigration(const Cluster& cluster,
+                                          Placement& live,
+                                          const Placement& target,
+                                          const MigrationPlan& plan,
+                                          ClusterActions& actions,
+                                          const MigrationExecutorOptions& options) {
+  MigrationExecutionReport report;
+  Rng rng(options.seed);
+  Placement desired = CopyCounts(cluster, target);
+
+  const MigrationPlan* current_plan = &plan;
+  MigrationPlan replanned;
+  for (int round = 0;; ++round) {
+    ExecutePass(cluster, live, *current_plan, actions, options, rng, report);
+    if (SymmetricDiff(live, desired) == 0) {
+      report.reached_target = true;
+      break;
+    }
+    if (round >= options.max_replans || options.deadline.Expired()) break;
+
+    // Re-plan from the actually-reached intermediate placement.
+    ++report.replans;
+    AdjustTargetForUnavailable(cluster, live, desired, actions, report);
+    RepairDeficits(cluster, live, desired, actions, options, rng, report);
+    if (SymmetricDiff(live, desired) == 0) {
+      report.reached_target = true;
+      break;
+    }
+    MigrationOptions migration_options;
+    migration_options.min_alive_fraction = options.min_alive_fraction;
+    StatusOr<MigrationPlan> next =
+        ComputeMigrationPath(cluster, live, desired, migration_options);
+    if (!next.ok()) {
+      RASA_LOG(Warning) << "re-plan failed: " << next.status().ToString();
+      ++report.replan_failures;
+      break;
+    }
+    replanned = std::move(next).value();
+    current_plan = &replanned;
+    if (replanned.batches.empty()) {
+      // Nothing executable remains (all residual moves touch cordoned
+      // machines); stop gracefully.
+      report.reached_target = SymmetricDiff(live, desired) == 0;
+      break;
+    }
+  }
+  report.residual_diff = SymmetricDiff(live, desired);
+  return report;
+}
+
+}  // namespace rasa

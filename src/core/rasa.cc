@@ -1,10 +1,12 @@
 #include "core/rasa.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "common/timer.h"
 #include "core/greedy.h"
 #include "core/local_search.h"
@@ -68,6 +70,16 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     remaining_affinity += sp.internal_affinity;
   }
 
+  // Degradation ladder state: per-algorithm failure counts within this run.
+  // An algorithm that keeps failing (solver error / OOT) trips its circuit
+  // breaker and is skipped for the remaining subproblems.
+  int algorithm_failures[2] = {0, 0};
+  auto breaker_open = [&](PoolAlgorithm a) {
+    return options_.circuit_breaker_failures > 0 &&
+           algorithm_failures[static_cast<int>(a)] >=
+               options_.circuit_breaker_failures;
+  };
+
   for (int idx : order) {
     const Subproblem& sp = partition.subproblems[idx];
     SubproblemReport report;
@@ -78,8 +90,10 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     Stopwatch sp_timer;
     // Affinity-weighted share of the remaining budget, floored so even
     // zero-affinity subproblems get a sliver, and capped so a single solve
-    // cannot starve the rest of the queue.
-    const double remaining_time = deadline.RemainingSeconds();
+    // cannot starve the rest of the queue. An already-expired (or infinite)
+    // global deadline must never push a negative/non-finite share into
+    // ClampedToSeconds, hence the clamps.
+    const double remaining_time = std::max(0.0, deadline.RemainingSeconds());
     const size_t solved = result.subproblems.size();
     const size_t left = partition.subproblems.size() - solved;
     double share = remaining_affinity > 1e-12
@@ -89,18 +103,56 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     const double budget = std::max(
         0.02, std::min(remaining_time - reserve, remaining_time * share));
     remaining_affinity -= sp.internal_affinity;
-    const Deadline sp_deadline = deadline.ClampedToSeconds(budget);
+    const Deadline sp_deadline = std::isfinite(budget)
+                                     ? deadline.ClampedToSeconds(budget)
+                                     : deadline;
 
     report.algorithm = selector_.Select(cluster, sp);
-    StatusOr<SubproblemSolution> solution =
-        deadline.Expired()
-            ? StatusOr<SubproblemSolution>(
-                  DeadlineExceededError("global budget exhausted"))
-            : RunPoolAlgorithm(report.algorithm, cluster, sp,
-                               partition.base_placement, current, sp_deadline,
-                               rng.Next());
+    const PoolAlgorithm primary = report.algorithm;
+    const PoolAlgorithm secondary =
+        primary == PoolAlgorithm::kCg ? PoolAlgorithm::kMip
+                                      : PoolAlgorithm::kCg;
+
+    auto attempt = [&](PoolAlgorithm algorithm,
+                       const Deadline& dl) -> StatusOr<SubproblemSolution> {
+      if (deadline.Expired()) {
+        return DeadlineExceededError("global budget exhausted");
+      }
+      if (breaker_open(algorithm)) {
+        ++result.breaker_skips;
+        return ResourceExhaustedError(
+            StrFormat("%s circuit breaker open",
+                      PoolAlgorithmToString(algorithm)));
+      }
+      StatusOr<SubproblemSolution> sol =
+          RunPoolAlgorithm(algorithm, cluster, sp, partition.base_placement,
+                           current, dl, rng.Next());
+      if (!sol.ok()) {
+        ++algorithm_failures[static_cast<int>(algorithm)];
+        ++result.solver_failures;
+      }
+      return sol;
+    };
+
+    StatusOr<SubproblemSolution> solution = attempt(primary, sp_deadline);
+    if (!solution.ok() && options_.try_secondary_algorithm &&
+        !deadline.Expired() && !breaker_open(secondary)) {
+      // Rung 2 of the ladder: the other pool algorithm, on a fresh slice of
+      // whatever global budget remains.
+      StatusOr<SubproblemSolution> rescued = attempt(
+          secondary, deadline.ClampedToSeconds(std::max(0.02, 0.5 * budget)));
+      if (rescued.ok()) {
+        RASA_LOG(Info) << "subproblem " << idx << ": "
+                       << PoolAlgorithmToString(primary) << " failed, "
+                       << PoolAlgorithmToString(secondary) << " rescued it";
+        solution = std::move(rescued);
+        report.used_secondary = true;
+        ++result.secondary_successes;
+      }
+    }
     if (!solution.ok()) {
       report.failed = true;
+      ++result.greedy_fallbacks;
       RASA_LOG(Info) << "subproblem " << idx << " ("
                      << PoolAlgorithmToString(report.algorithm)
                      << ") failed: " << solution.status().ToString()

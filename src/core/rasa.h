@@ -27,6 +27,14 @@ struct RasaOptions {
   /// hill-climbing container moves/swaps with whatever global budget
   /// remains. Off by default to keep the paper-faithful pipeline.
   bool refine_with_local_search = false;
+  /// Degradation ladder: when the selected pool algorithm fails on a
+  /// subproblem, try the *other* pool algorithm before dropping to the
+  /// affinity greedy.
+  bool try_secondary_algorithm = true;
+  /// Per-algorithm circuit breaker: after this many failures within one
+  /// Optimize run the algorithm is skipped for the remaining subproblems
+  /// (0 disables the breaker).
+  int circuit_breaker_failures = 3;
   uint64_t seed = 42;
 };
 
@@ -39,7 +47,9 @@ struct SubproblemReport {
   double gained_affinity = 0.0;
   int unplaced_containers = 0;
   double seconds = 0.0;
-  bool failed = false;  // solver error / model too large (OOT)
+  bool failed = false;  // fell through the whole ladder to the greedy
+  /// Rescued by the other pool algorithm after the selected one failed.
+  bool used_secondary = false;
 };
 
 struct RasaResult {
@@ -56,6 +66,12 @@ struct RasaResult {
   /// zero with default generator headroom).
   int lost_containers = 0;
   int moved_containers = 0;
+
+  // Degradation-ladder accounting (all 0 on a healthy run).
+  int solver_failures = 0;      // pool-algorithm attempts that failed
+  int secondary_successes = 0;  // rescued by the other pool algorithm
+  int greedy_fallbacks = 0;     // bottom of the ladder
+  int breaker_skips = 0;        // attempts skipped by an open breaker
 
   PartitionStats partition_stats;
   std::vector<SubproblemReport> subproblems;

@@ -1,0 +1,60 @@
+#include "sim/fault_injection.h"
+
+#include "common/strings.h"
+
+namespace rasa {
+
+FaultInjector::FaultInjector(const FaultInjectionOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+Status FaultInjector::BeforeCommand(MigrationCommandType type, int machine,
+                                    int service) {
+  (void)type;
+  (void)service;
+  ++commands_seen_;
+  if (cordon_armed_ && options_.cordon_after_commands >= 0 &&
+      commands_seen_ > options_.cordon_after_commands) {
+    const int victim =
+        options_.cordon_machine >= 0 ? options_.cordon_machine : machine;
+    cordoned_[victim] = options_.cordon_duration_cycles;
+    cordon_armed_ = false;
+    ++cordons_fired_;
+  }
+  if (Cordoned(machine)) {
+    // Permanent for this command: the executor must re-plan around it.
+    return FailedPreconditionError(
+        StrFormat("machine %d is cordoned", machine));
+  }
+  if (options_.command_failure_probability > 0.0 &&
+      rng_.NextBool(options_.command_failure_probability)) {
+    ++failures_injected_;
+    return InternalError("injected transient command failure");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::Cordoned(int machine) const {
+  return cordoned_.find(machine) != cordoned_.end();
+}
+
+void FaultInjector::EndCycle() {
+  for (auto it = cordoned_.begin(); it != cordoned_.end();) {
+    if (it->second > 0 && --it->second == 0) {
+      it = cordoned_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool FaultInjector::DrawSolverExhaustion() {
+  return options_.solver_exhaustion_probability > 0.0 &&
+         rng_.NextBool(options_.solver_exhaustion_probability);
+}
+
+bool FaultInjector::DrawOptimizerFailure() {
+  return options_.optimizer_failure_probability > 0.0 &&
+         rng_.NextBool(options_.optimizer_failure_probability);
+}
+
+}  // namespace rasa

@@ -1,0 +1,107 @@
+#ifndef RASA_SIM_FAULT_INJECTION_H_
+#define RASA_SIM_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/migration_executor.h"
+
+namespace rasa {
+
+/// Failure taxonomy of the chaos harness (see DESIGN.md "Fault model"):
+/// transient command failures, machine cordons mid-migration, stale
+/// snapshots, and solver-budget exhaustion. All draws come from one seeded
+/// stream, so every chaos run replays bit-for-bit.
+struct FaultInjectionOptions {
+  /// Probability that any single delete/create attempt fails transiently
+  /// (retryable kInternal).
+  double command_failure_probability = 0.0;
+  /// After this many observed command attempts, cordon a machine; < 0
+  /// disables. Fires once per run ("one mid-migration outage").
+  long cordon_after_commands = -1;
+  /// Machine to cordon; -1 cordons the machine of the triggering command.
+  int cordon_machine = -1;
+  /// Workflow cycles the cordon lasts (ticks down on EndCycle; <= 0 means
+  /// it never lifts).
+  int cordon_duration_cycles = 1;
+  /// Extra container drift applied *after* state collection but before the
+  /// plan executes: the snapshot the optimizer saw goes stale.
+  double stale_snapshot_drift = 0.0;
+  /// Per-cycle probability that the solver budget is already exhausted when
+  /// the optimizer starts, forcing the degradation ladder down to greedy.
+  double solver_exhaustion_probability = 0.0;
+  /// Per-cycle probability that the optimizer call itself errors out (the
+  /// workflow must record the cycle as a dry-run and keep going).
+  double optimizer_failure_probability = 0.0;
+  uint64_t seed = 1234;
+};
+
+/// Seeded chaos source consulted by `FaultyClusterActions` before every
+/// command and by `RunWorkflow` once per cycle. Stateful: it counts
+/// commands, fires the configured cordon, and ticks cordon durations.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectionOptions& options);
+
+  /// Consulted before every command attempt; non-OK means the command fails
+  /// with that status instead of reaching the cluster. Counts the attempt
+  /// and may fire the configured cordon.
+  Status BeforeCommand(MigrationCommandType type, int machine, int service);
+
+  bool Cordoned(int machine) const;
+
+  /// Ticks cordon durations down at the end of a workflow cycle.
+  void EndCycle();
+
+  /// Draws whether this cycle's solver budget is exhausted.
+  bool DrawSolverExhaustion();
+
+  /// Draws whether this cycle's optimizer call errors out entirely.
+  bool DrawOptimizerFailure();
+
+  const FaultInjectionOptions& options() const { return options_; }
+  long commands_seen() const { return commands_seen_; }
+  int failures_injected() const { return failures_injected_; }
+  int cordons_fired() const { return cordons_fired_; }
+
+ private:
+  FaultInjectionOptions options_;
+  Rng rng_;
+  /// machine -> remaining cycles (<= 0 = forever).
+  std::map<int, int> cordoned_;
+  long commands_seen_ = 0;
+  int failures_injected_ = 0;
+  int cordons_fired_ = 0;
+  bool cordon_armed_ = true;
+};
+
+/// ClusterActions decorator: asks the injector for trouble, then delegates.
+class FaultyClusterActions : public ClusterActions {
+ public:
+  FaultyClusterActions(ClusterActions& base, FaultInjector& injector)
+      : base_(base), injector_(injector) {}
+
+  Status Delete(int machine, int service) override {
+    RASA_RETURN_IF_ERROR(injector_.BeforeCommand(MigrationCommandType::kDelete,
+                                                 machine, service));
+    return base_.Delete(machine, service);
+  }
+  Status Create(int machine, int service) override {
+    RASA_RETURN_IF_ERROR(injector_.BeforeCommand(MigrationCommandType::kCreate,
+                                                 machine, service));
+    return base_.Create(machine, service);
+  }
+  bool Available(int machine) const override {
+    return !injector_.Cordoned(machine) && base_.Available(machine);
+  }
+
+ private:
+  ClusterActions& base_;
+  FaultInjector& injector_;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_SIM_FAULT_INJECTION_H_

@@ -7,7 +7,9 @@
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/migration.h"
+#include "core/migration_executor.h"
 #include "core/objective.h"
+#include "sim/fault_injection.h"
 
 namespace rasa {
 namespace {
@@ -96,6 +98,8 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
   Rng rng(options.seed);
   // Services tagged unschedulable after a rollback, with remaining cooldown.
   std::vector<int> frozen_cooldown(cluster.num_services(), 0);
+  // The chaos source lives across cycles so cordons span migrations.
+  FaultInjector injector(options.faults);
 
   for (int cycle = 0; cycle < options.cycles; ++cycle) {
     Stopwatch timer;
@@ -122,17 +126,35 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
       state.placement = RebindPlacement(*state.measured_cluster, live);
     }
 
-    // 2) The RASA algorithm on the collected state.
+    // 2) The RASA algorithm on the collected state. A failed optimizer run
+    //    must not abort the workflow: the cycle is recorded as a dry-run
+    //    (affinity_after == affinity_before) and the loop continues.
     RasaOptions rasa_options = options.rasa;
     rasa_options.seed = rng.Next();
+    if (options.inject_faults && injector.DrawSolverExhaustion()) {
+      // Chaos: the cycle starts with its solver budget already spent,
+      // forcing the degradation ladder straight down to the greedy.
+      rasa_options.timeout_seconds = 0.0;
+    }
     RasaOptimizer optimizer(rasa_options, selector);
-    RASA_ASSIGN_OR_RETURN(RasaResult result,
-                          optimizer.Optimize(*state.measured_cluster,
-                                             state.placement));
-    cr.predicted_affinity = result.new_gained_affinity;
+    StatusOr<RasaResult> optimized =
+        options.inject_faults && injector.DrawOptimizerFailure()
+            ? StatusOr<RasaResult>(
+                  InternalError("injected optimizer failure"))
+            : optimizer.Optimize(*state.measured_cluster, state.placement);
+    if (!optimized.ok()) {
+      RASA_LOG(Warning) << "cycle " << cycle << " optimizer failed: "
+                        << optimized.status().ToString()
+                        << "; recording as dry-run";
+      cr.solver_failed = true;
+      ++report.solver_failures;
+    } else {
+      cr.predicted_affinity = optimized->new_gained_affinity;
+    }
 
     // 3) Reallocate per the migration plan (or dry-run).
-    if (result.should_execute) {
+    if (optimized.ok() && optimized->should_execute) {
+      RasaResult& result = *optimized;
       const Status valid = ValidateMigrationPlan(
           *state.measured_cluster, state.placement, result.new_placement,
           result.migration, rasa_options.migration.min_alive_fraction);
@@ -156,8 +178,46 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
             }
             if (moved) frozen_cooldown[s] = options.unschedulable_cycles;
           }
+        } else if (options.use_migration_executor) {
+          // Chaos: the cluster drifts between collection and execution, so
+          // the plan is stale and the executor must re-plan mid-flight.
+          if (options.inject_faults &&
+              options.faults.stale_snapshot_drift > 0.0) {
+            DriftPlacement(cluster, live, options.faults.stale_snapshot_drift,
+                           rng);
+          }
+          PlacementActions base_actions(live);
+          FaultyClusterActions faulty_actions(base_actions, injector);
+          ClusterActions& actions =
+              options.inject_faults
+                  ? static_cast<ClusterActions&>(faulty_actions)
+                  : static_cast<ClusterActions&>(base_actions);
+          MigrationExecutorOptions exec_options;
+          exec_options.retry = options.command_retry;
+          exec_options.min_alive_fraction =
+              rasa_options.migration.min_alive_fraction;
+          exec_options.max_replans = options.max_replans;
+          exec_options.seed = rng.Next();
+          const MigrationExecutionReport exec = ExecuteMigration(
+              cluster, live, candidate, result.migration, actions,
+              exec_options);
+          cr.executed = true;
+          cr.reached_target = exec.reached_target;
+          cr.moved_containers = exec.commands_succeeded;
+          cr.migration_batches = exec.batches_executed;
+          cr.commands_failed = exec.commands_failed;
+          cr.command_retries = exec.retries;
+          cr.replans = exec.replans;
+          ++report.executions;
+          if (!exec.reached_target) ++report.partial_executions;
+          report.commands_failed += exec.commands_failed;
+          report.command_retries += exec.retries;
+          report.replans += exec.replans;
+          report.sla_violations += exec.sla_violations;
+          report.feasibility_violations += exec.feasibility_violations;
         } else {
           cr.executed = true;
+          cr.reached_target = true;
           cr.moved_containers = result.moved_containers;
           cr.migration_batches =
               static_cast<int>(result.migration.batches.size());
@@ -172,11 +232,14 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
     cr.seconds = timer.ElapsedSeconds();
     report.cycles.push_back(cr);
 
-    // 4) Cluster drift before the next cycle; cooldowns tick down.
+    // 4) Cluster drift before the next cycle; cooldowns and cordons tick.
     DriftPlacement(cluster, live, options.drift_fraction, rng);
     for (int& cd : frozen_cooldown) cd = std::max(0, cd - 1);
+    if (options.inject_faults) injector.EndCycle();
   }
 
+  report.faults_injected = injector.failures_injected();
+  report.cordons_fired = injector.cordons_fired();
   report.final_placement = std::move(live);
   return report;
 }

@@ -6,8 +6,10 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "common/retry.h"
 #include "common/statusor.h"
 #include "core/rasa.h"
+#include "sim/fault_injection.h"
 
 namespace rasa {
 
@@ -42,6 +44,19 @@ struct WorkflowOptions {
   /// Cycles a rolled-back run keeps its services tagged unschedulable
   /// (stands in for the paper's three days).
   int unschedulable_cycles = 2;
+  /// Execute migration plans command-by-command through the hardened
+  /// executor (retry/backoff, SLA re-verification after every partial
+  /// batch, re-planning around failures) instead of atomically swapping in
+  /// the target placement.
+  bool use_migration_executor = true;
+  /// Per-command retry/backoff policy of the executor.
+  RetryPolicy command_retry;
+  /// Maximum executor re-planning rounds per cycle.
+  int max_replans = 4;
+  /// Chaos harness: when true, commands/cordons/stale snapshots/solver
+  /// budgets are faulted per `faults` (seeded; replays bit-for-bit).
+  bool inject_faults = false;
+  FaultInjectionOptions faults;
   uint64_t seed = 99;
 };
 
@@ -51,8 +66,16 @@ struct CycleReport {
   double predicted_affinity = 0.0;
   bool executed = false;
   bool rolled_back = false;
+  /// The optimizer itself returned an error; the cycle was recorded as a
+  /// dry-run instead of aborting the workflow.
+  bool solver_failed = false;
+  /// Executor converged to the (cordon-adjusted) target placement.
+  bool reached_target = false;
   int moved_containers = 0;
   int migration_batches = 0;
+  int commands_failed = 0;
+  int command_retries = 0;
+  int replans = 0;
   double seconds = 0.0;
 };
 
@@ -62,6 +85,21 @@ struct WorkflowReport {
   int executions = 0;
   int dry_runs = 0;
   int rollbacks = 0;
+  /// Cycles whose optimizer call errored out (counted as dry-runs).
+  int solver_failures = 0;
+  /// Executions that stopped short of the target placement.
+  int partial_executions = 0;
+  // Executor totals across all cycles.
+  int commands_failed = 0;
+  int command_retries = 0;
+  int replans = 0;
+  /// Post-batch invariant audits that failed (must stay 0, even under
+  /// injected faults).
+  int sla_violations = 0;
+  int feasibility_violations = 0;
+  // Chaos-harness totals (0 unless inject_faults).
+  int faults_injected = 0;
+  int cordons_fired = 0;
 };
 
 /// Simulates the full periodic system of §III-A: each cycle collects the

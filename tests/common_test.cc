@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/statusor.h"
@@ -274,6 +275,100 @@ TEST(StringsTest, Padding) {
   EXPECT_EQ(PadLeft("ab", 5), "   ab");
   EXPECT_EQ(PadRight("ab", 5), "ab   ");
   EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+}
+
+// ----------------------------------------------------------------- Retry --
+
+TEST(RetryTest, RetryableTaxonomy) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kInternal));
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+}
+
+TEST(RetryTest, BackoffIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.initial_backoff_seconds = 0.1;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_seconds = 0.5;
+  policy.jitter_fraction = 0.25;
+  Rng a(7), b(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const double x = BackoffSeconds(policy, attempt, a);
+    const double y = BackoffSeconds(policy, attempt, b);
+    EXPECT_DOUBLE_EQ(x, y);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 0.5 * 1.25 + 1e-12);
+  }
+}
+
+TEST(RetryTest, TransientFailuresRetryUntilSuccess) {
+  Rng rng(1);
+  RetryStats stats;
+  int calls = 0;
+  const Status s = RetryCall(
+      RetryPolicy{}, Deadline::Infinite(), rng,
+      [&](const Deadline&) {
+        return ++calls < 3 ? InternalError("flaky") : Status::OK();
+      },
+      &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_GT(stats.backoff_seconds, 0.0);
+}
+
+TEST(RetryTest, PermanentErrorFailsImmediately) {
+  Rng rng(1);
+  RetryStats stats;
+  const Status s = RetryCall(
+      RetryPolicy{}, Deadline::Infinite(), rng,
+      [&](const Deadline&) { return FailedPreconditionError("no such"); },
+      &stats);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST(RetryTest, ExhaustsAttemptsAndReturnsLastError) {
+  Rng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryStats stats;
+  const Status s = RetryCall(
+      policy, Deadline::Infinite(), rng,
+      [&](const Deadline&) { return InternalError("still down"); }, &stats);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+}
+
+TEST(RetryTest, ExpiredDeadlineMakesNoAttempt) {
+  Rng rng(1);
+  RetryStats stats;
+  const Status s = RetryCall(
+      RetryPolicy{}, Deadline::AfterSeconds(0.0), rng,
+      [&](const Deadline&) { return Status::OK(); }, &stats);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(stats.attempts, 0);
+}
+
+TEST(RetryTest, BackoffChargedAgainstDeadlineStopsRetrying) {
+  Rng rng(1);
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_seconds = 100.0;  // one backoff blows the budget
+  policy.max_backoff_seconds = 100.0;
+  policy.jitter_fraction = 0.0;
+  RetryStats stats;
+  const Status s = RetryCall(
+      policy, Deadline::AfterSeconds(5.0), rng,
+      [&](const Deadline&) { return InternalError("down"); }, &stats);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_EQ(stats.attempts, 1);  // retrying would back off past the deadline
+  EXPECT_EQ(stats.retries, 0);
 }
 
 // --------------------------------------------------------------- Logging --

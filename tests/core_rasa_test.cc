@@ -76,6 +76,40 @@ TEST_F(RasaFixture, HonorsGlobalTimeout) {
   EXPECT_GE(result.new_gained_affinity, result.original_gained_affinity * 0.9);
 }
 
+TEST_F(RasaFixture, AlreadyExpiredDeadlineFallsBackGracefully) {
+  // Satellite: a zero (or negative) global budget must not produce a
+  // negative per-subproblem share — the ladder drops every subproblem to
+  // the greedy and still returns a complete, feasible placement.
+  for (const double timeout : {0.0, -5.0}) {
+    RasaOptions options;
+    options.timeout_seconds = timeout;
+    RasaResult result = Run(options);
+    EXPECT_TRUE(result.new_placement.CheckFeasible(false).ok());
+    EXPECT_EQ(result.lost_containers, 0);
+    for (int s = 0; s < snapshot_.cluster->num_services(); ++s) {
+      EXPECT_EQ(result.new_placement.TotalOf(s),
+                snapshot_.cluster->service(s).demand);
+    }
+    ASSERT_FALSE(result.subproblems.empty());
+    EXPECT_EQ(result.greedy_fallbacks,
+              static_cast<int>(result.subproblems.size()));
+    for (const SubproblemReport& sp : result.subproblems) {
+      EXPECT_TRUE(sp.failed);
+      EXPECT_FALSE(sp.used_secondary);
+    }
+  }
+}
+
+TEST_F(RasaFixture, HealthyRunReportsNoLadderActivity) {
+  RasaOptions options;
+  options.timeout_seconds = 2.0;
+  RasaResult result = Run(options);
+  EXPECT_EQ(result.solver_failures, 0);
+  EXPECT_EQ(result.secondary_successes, 0);
+  EXPECT_EQ(result.greedy_fallbacks, 0);
+  EXPECT_EQ(result.breaker_skips, 0);
+}
+
 TEST_F(RasaFixture, DryRunWhenImprovementBelowThreshold) {
   RasaOptions options;
   options.timeout_seconds = 1.0;

@@ -95,5 +95,105 @@ TEST(SerializationTest, MissingFileFails) {
   EXPECT_FALSE(LoadSnapshotFromFile("/nonexistent/foo.snapshot").ok());
 }
 
+// Replaces the first occurrence of `from` in a serialized snapshot.
+std::string Corrupt(std::string text, const std::string& from,
+                    const std::string& to) {
+  const size_t pos = text.find(from);
+  EXPECT_NE(pos, std::string::npos) << from;
+  return text.replace(pos, from.size(), to);
+}
+
+TEST(SerializationTest, RejectsLyingHugeHeaderCounts) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M3Spec(16.0));
+  ASSERT_TRUE(original.ok());
+  const std::string text = SerializeSnapshot(*original);
+  const std::string services =
+      "services " + std::to_string(original->cluster->num_services());
+  const std::string machines =
+      "machines " + std::to_string(original->cluster->num_machines());
+  // A header claiming billions of records must fail cleanly (on the bound
+  // check or the first missing record), never allocate first.
+  EXPECT_FALSE(
+      DeserializeSnapshot(Corrupt(text, services, "services 2000000000"))
+          .ok());
+  EXPECT_FALSE(
+      DeserializeSnapshot(Corrupt(text, services, "services 900000")).ok());
+  EXPECT_FALSE(
+      DeserializeSnapshot(Corrupt(text, machines, "machines 900000")).ok());
+  EXPECT_FALSE(
+      DeserializeSnapshot(Corrupt(text, services, "services -3")).ok());
+}
+
+TEST(SerializationTest, RejectsAbsurdDemand) {
+  const std::string text =
+      "rasa-snapshot-v1\n"
+      "name t\n"
+      "resources 1 cpu\n"
+      "services 2\n"
+      "svc0 2000000000 0 1.0\n"  // demand overflows the container count
+      "svc1 2 0 1.0\n"
+      "machines 1\n"
+      "m0 0 0 8.0\n"
+      "affinity 0\n"
+      "anti_affinity 0\n"
+      "placement 0\n"
+      "end\n";
+  EXPECT_FALSE(DeserializeSnapshot(text).ok());
+}
+
+TEST(SerializationTest, RejectsNonFiniteValues) {
+  StatusOr<ClusterSnapshot> original = GenerateCluster(M3Spec(16.0));
+  ASSERT_TRUE(original.ok());
+  const std::string text = SerializeSnapshot(*original);
+  // Break one machine's first capacity value.
+  const Machine& m0 = original->cluster->machine(0);
+  const std::string record = "\n" + m0.name + " ";
+  const size_t pos = text.find(record);
+  ASSERT_NE(pos, std::string::npos);
+  const size_t cap = text.find(' ', text.find(' ', pos + record.size()) + 1);
+  ASSERT_NE(cap, std::string::npos);
+  for (const char* bad : {"nan", "inf", "-1.0", "1e999"}) {
+    std::string mutated = text;
+    mutated.replace(cap + 1, mutated.find_first_of(" \n", cap + 1) - cap - 1,
+                    bad);
+    EXPECT_FALSE(DeserializeSnapshot(mutated).ok()) << bad;
+  }
+}
+
+TEST(SerializationTest, RejectsDimensionMismatchedRows) {
+  // Two resources declared, but records carry only one value: the parser
+  // must detect the misalignment instead of consuming the next record.
+  const std::string text =
+      "rasa-snapshot-v1\n"
+      "name t\n"
+      "resources 2 cpu mem\n"
+      "services 1\n"
+      "svc0 2 0 1.0\n"  // missing the mem request
+      "machines 1\n"
+      "m0 0 0 8.0 8.0\n"
+      "affinity 0\n"
+      "anti_affinity 0\n"
+      "placement 0\n"
+      "end\n";
+  EXPECT_FALSE(DeserializeSnapshot(text).ok());
+}
+
+TEST(SerializationTest, RejectsPlacementOverCapacityTotals) {
+  const std::string text =
+      "rasa-snapshot-v1\n"
+      "name t\n"
+      "resources 1 cpu\n"
+      "services 1\n"
+      "svc0 4 0 1.0\n"
+      "machines 1\n"
+      "m0 0 0 8.0\n"
+      "affinity 0\n"
+      "anti_affinity 0\n"
+      "placement 1\n"
+      "0 0 -7\n"  // negative count
+      "end\n";
+  EXPECT_FALSE(DeserializeSnapshot(text).ok());
+}
+
 }  // namespace
 }  // namespace rasa
