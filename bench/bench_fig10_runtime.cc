@@ -18,6 +18,7 @@ int main() {
   const AlgorithmSelector selector = rasa::bench::BenchSelector();
   const double base = BenchTimeout();
   const double timeouts[] = {base / 8, base / 4, base / 2, base, 2 * base};
+  BenchJsonWriter json("fig10_runtime");
 
   for (const ClusterSnapshot& snapshot : BenchClusters()) {
     std::printf("%s:\n", snapshot.name.c_str());
@@ -35,6 +36,13 @@ int main() {
       std::printf("  %10.3f %12.4f %12.4f\n", timeout,
                   rasa.ok() ? rasa->new_gained_affinity : -1.0,
                   pop.ok() ? pop->gained_affinity : -1.0);
+      json.BeginRow()
+          .Field("cluster", snapshot.name)
+          .Field("timeout_seconds", timeout)
+          .Field("rasa_gained_affinity",
+                 rasa.ok() ? rasa->new_gained_affinity : -1.0)
+          .Field("pop_gained_affinity",
+                 pop.ok() ? pop->gained_affinity : -1.0);
     }
     StatusOr<BaselineResult> k8s = RunK8sPlus(
         *snapshot.cluster, Deadline::AfterSeconds(60.0), 5);
@@ -44,10 +52,20 @@ int main() {
     if (k8s.ok()) {
       std::printf("  K8S+      point: (%.3fs, %.4f)\n", k8s->seconds,
                   k8s->gained_affinity);
+      json.BeginRow()
+          .Field("cluster", snapshot.name)
+          .Field("baseline", "k8s_plus")
+          .Field("seconds", k8s->seconds)
+          .Field("gained_affinity", k8s->gained_affinity);
     }
     if (appl.ok()) {
       std::printf("  APPLSCI19 point: (%.3fs, %.4f)\n", appl->seconds,
                   appl->gained_affinity);
+      json.BeginRow()
+          .Field("cluster", snapshot.name)
+          .Field("baseline", "applsci19")
+          .Field("seconds", appl->seconds)
+          .Field("gained_affinity", appl->gained_affinity);
     }
     PrintRule();
   }

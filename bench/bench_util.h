@@ -7,10 +7,14 @@
 //                       size — only sensible on a large machine)
 //   RASA_BENCH_TIMEOUT  solver time-out in seconds (default 2; stands in
 //                       for the paper's one-minute SLO)
+//   RASA_BENCH_JSON_DIR directory for machine-readable BENCH_<name>.json
+//                       result files (default: current directory)
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cluster/generator.h"
@@ -71,6 +75,87 @@ inline void PrintHeader(const std::string& title, const std::string& what) {
 inline void PrintRule() {
   std::printf("------------------------------------------------------------------\n");
 }
+
+/// Machine-readable bench results: accumulates flat rows of key -> value and
+/// writes them as a JSON array of objects to BENCH_<name>.json (in
+/// RASA_BENCH_JSON_DIR, default the working directory). Numbers are emitted
+/// unquoted with full round-trip precision so downstream tooling can diff
+/// runs bit-exactly.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+  ~BenchJsonWriter() { Flush(); }
+
+  BenchJsonWriter& BeginRow() {
+    rows_.emplace_back();
+    return *this;
+  }
+  BenchJsonWriter& Field(const std::string& key, const std::string& value) {
+    rows_.back().emplace_back(key, "\"" + Escaped(value) + "\"");
+    return *this;
+  }
+  BenchJsonWriter& Field(const std::string& key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  BenchJsonWriter& Field(const std::string& key, double value) {
+    rows_.back().emplace_back(key, StrFormat("%.17g", value));
+    return *this;
+  }
+  BenchJsonWriter& Field(const std::string& key, int value) {
+    rows_.back().emplace_back(key, StrFormat("%d", value));
+    return *this;
+  }
+  BenchJsonWriter& Field(const std::string& key, bool value) {
+    rows_.back().emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  /// Writes the file; called automatically on destruction (idempotent).
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    const std::string path = Path();
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "[\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      out << "  {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) out << ", ";
+        out << "\"" << Escaped(rows_[r][f].first)
+            << "\": " << rows_[r][f].second;
+      }
+      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    std::fprintf(stderr, "bench: wrote %s (%zu rows)\n", path.c_str(),
+                 rows_.size());
+  }
+
+  std::string Path() const {
+    const char* dir = std::getenv("RASA_BENCH_JSON_DIR");
+    const std::string prefix =
+        dir != nullptr && dir[0] != '\0' ? std::string(dir) + "/" : "";
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+ private:
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+  bool flushed_ = false;
+};
 
 }  // namespace rasa::bench
 

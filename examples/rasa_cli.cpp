@@ -13,6 +13,11 @@
 //       Simulate the periodic CronJob workflow with the hardened migration
 //       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
 //       harness injects command failures / a mid-migration machine cordon.
+//
+// `optimize` and `workflow` additionally accept --threads N anywhere on the
+// command line: N solver worker threads (0 = one per hardware thread,
+// default 1 = sequential). The optimized placement is bit-identical at
+// every thread count.
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,10 +39,27 @@ int Usage() {
       "usage:\n"
       "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
       "  rasa_cli stats <in.snapshot>\n"
-      "  rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]\n"
-      "  rasa_cli workflow <in.snapshot> [cycles] [fail_prob] [cordon_after] "
-      "[seed]\n");
+      "  rasa_cli optimize [--threads N] <in.snapshot> [timeout_s] "
+      "[out.snapshot]\n"
+      "  rasa_cli workflow [--threads N] <in.snapshot> [cycles] [fail_prob] "
+      "[cordon_after] [seed]\n");
   return 2;
+}
+
+// Extracts `--threads N` from argv (compacting the remaining arguments) and
+// returns N; 1 when the flag is absent.
+int ExtractThreads(int& argc, char** argv) {
+  int threads = 1;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return threads;
 }
 
 int Generate(int argc, char** argv) {
@@ -100,7 +122,7 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
-int Optimize(int argc, char** argv) {
+int Optimize(int argc, char** argv, int threads) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -109,6 +131,7 @@ int Optimize(int argc, char** argv) {
   }
   RasaOptions options;
   options.timeout_seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
+  options.num_threads = threads;
   RasaOptimizer optimizer(options,
                           AlgorithmSelector(SelectorPolicy::kHeuristic));
   StatusOr<RasaResult> result =
@@ -118,11 +141,11 @@ int Optimize(int argc, char** argv) {
                  result.status().ToString().c_str());
     return 1;
   }
-  std::printf("gained affinity: %.4f -> %.4f (%.2fx) in %.2fs\n",
+  std::printf("gained affinity: %.4f -> %.4f (%.2fx) in %.2fs (%d threads)\n",
               result->original_gained_affinity, result->new_gained_affinity,
               result->new_gained_affinity /
                   std::max(1e-9, result->original_gained_affinity),
-              result->elapsed_seconds);
+              result->elapsed_seconds, result->num_threads_used);
   std::printf("moved containers: %d / %d\n", result->moved_containers,
               snapshot->cluster->num_containers());
   if (result->should_execute) {
@@ -143,7 +166,7 @@ int Optimize(int argc, char** argv) {
   return 0;
 }
 
-int Workflow(int argc, char** argv) {
+int Workflow(int argc, char** argv, int threads) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -151,6 +174,7 @@ int Workflow(int argc, char** argv) {
     return 1;
   }
   WorkflowOptions options;
+  options.rasa.num_threads = threads;
   options.cycles = argc > 3 ? std::atoi(argv[3]) : 6;
   const double fail_prob = argc > 4 ? std::atof(argv[4]) : 0.0;
   const long cordon_after = argc > 5 ? std::atol(argv[5]) : -1;
@@ -198,10 +222,15 @@ int Workflow(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const int threads = ExtractThreads(argc, argv);
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
-  if (std::strcmp(argv[1], "optimize") == 0) return Optimize(argc, argv);
-  if (std::strcmp(argv[1], "workflow") == 0) return Workflow(argc, argv);
+  if (std::strcmp(argv[1], "optimize") == 0) {
+    return Optimize(argc, argv, threads);
+  }
+  if (std::strcmp(argv[1], "workflow") == 0) {
+    return Workflow(argc, argv, threads);
+  }
   return Usage();
 }

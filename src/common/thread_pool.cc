@@ -1,0 +1,154 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rasa {
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its index.
+// Used to route nested submissions onto the submitting worker's own deque
+// and to let ParallelFor help from the right deque.
+struct WorkerIdentity {
+  ThreadPool* pool = nullptr;
+  int index = -1;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
+int ThreadPool::DefaultNumThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  deques_.reserve(n);
+  for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<WorkDeque>());
+  workers_.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i]() { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  WorkDeque& target = tls_worker.pool == this
+                          ? *deques_[tls_worker.index]
+                          : injection_;
+  {
+    std::lock_guard<std::mutex> lock(target.mu);
+    target.tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::TryAcquireTask(int self, std::function<void()>& out) {
+  auto pop_back = [&out](WorkDeque& d) {
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) return false;
+    out = std::move(d.tasks.back());
+    d.tasks.pop_back();
+    return true;
+  };
+  auto pop_front = [&out](WorkDeque& d) {
+    std::lock_guard<std::mutex> lock(d.mu);
+    if (d.tasks.empty()) return false;
+    out = std::move(d.tasks.front());
+    d.tasks.pop_front();
+    return true;
+  };
+
+  bool found = false;
+  // Own deque first (LIFO keeps nested fan-out cache-hot), then external
+  // submissions, then steal oldest-first from siblings.
+  if (self >= 0 && pop_back(*deques_[self])) found = true;
+  if (!found && pop_front(injection_)) found = true;
+  if (!found) {
+    const int n = static_cast<int>(deques_.size());
+    for (int off = 1; off <= n && !found; ++off) {
+      const int victim = ((self >= 0 ? self : 0) + off) % n;
+      if (victim == self) continue;
+      if (pop_front(*deques_[victim])) found = true;
+    }
+  }
+  if (found) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --pending_;
+  }
+  return found;
+}
+
+void ThreadPool::WorkerLoop(int self) {
+  tls_worker = WorkerIdentity{this, self};
+  std::function<void()> task;
+  for (;;) {
+    if (TryAcquireTask(self, task)) {
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this]() { return stopping_ || pending_ > 0; });
+    // Drain every queued task before honoring shutdown so futures of
+    // already-submitted work never break.
+    if (stopping_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  struct State {
+    std::mutex mu;
+    std::condition_variable done;
+    int remaining;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  state->remaining = n;
+
+  for (int i = 0; i < n; ++i) {
+    // `fn` outlives the tasks: ParallelFor blocks until remaining == 0.
+    Schedule([state, &fn, i]() {
+      std::exception_ptr error;
+      try {
+        fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (error && !state->error) state->error = error;
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+
+  const int self = tls_worker.pool == this ? tls_worker.index : -1;
+  std::function<void()> task;
+  for (;;) {
+    if (TryAcquireTask(self, task)) {
+      // Help: the stolen task may belong to this loop or to any other work
+      // in flight — either way it moves the pool forward.
+      task();
+      task = nullptr;
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state->mu);
+    if (state->remaining == 0) break;
+    state->done.wait(lock);
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace rasa

@@ -1,0 +1,86 @@
+#ifndef RASA_COMMON_THREAD_POOL_H_
+#define RASA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace rasa {
+
+/// Fixed-size worker pool with per-worker work-stealing deques.
+///
+/// Tasks submitted from outside the pool land on a shared injection queue;
+/// tasks submitted from inside a worker are pushed onto that worker's own
+/// deque (LIFO for the owner, so nested fan-out stays cache-hot). Idle
+/// workers drain their own deque first, then the injection queue, then steal
+/// from the back of a sibling's deque. All queues are mutex-protected (no
+/// lock-free tricks), which keeps the pool small and TSan-clean.
+///
+/// Deadlines stay cooperative: the pool never cancels a task, callers pass a
+/// `Deadline` into the task and the task checks it (the same contract every
+/// anytime solver in this repo already follows).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers. Values < 1 are clamped to 1.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// The machine's hardware concurrency (>= 1).
+  static int DefaultNumThreads();
+
+  /// Schedules `fn` and returns a future for its result. Safe to call from
+  /// inside pool tasks (nested submissions go to the caller's own deque).
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> Submit(F&& fn) {
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Schedule([task]() { (*task)(); });
+    return future;
+  }
+
+  /// Runs fn(0), ..., fn(n - 1) across the pool and blocks until all calls
+  /// have finished. The calling thread helps execute pool tasks while it
+  /// waits, so ParallelFor composes with nested ParallelFor calls and never
+  /// deadlocks on a saturated pool. Rethrows the first task exception.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  // One worker's deque. The owner pushes/pops at the back; thieves take
+  // from the front (FIFO steal order keeps stolen tasks coarse).
+  struct WorkDeque {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void Schedule(std::function<void()> task);
+  void WorkerLoop(int self);
+  // Pops one task for worker `self` (-1 for an external helper thread);
+  // returns false when no task is available anywhere.
+  bool TryAcquireTask(int self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  WorkDeque injection_;  // external submissions
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: pending_ counts queued-but-unstarted tasks.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  long pending_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_THREAD_POOL_H_

@@ -1,12 +1,17 @@
 #include "core/rasa.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/greedy.h"
 #include "core/local_search.h"
@@ -38,13 +43,81 @@ int FallbackPlaceOne(const Cluster& cluster, Placement& working, int service) {
   return best;
 }
 
+// Salt mixed into each subproblem's RNG stream id: every stream depends
+// only on (options.seed, subproblem id), never on scheduling order, so a
+// parallel run draws exactly the seeds a sequential run draws.
+constexpr uint64_t kStreamSalt = 0x9e3779b97f4a7c15ULL;
+
+// Thread-safe affinity-weighted split of the remaining global budget (the
+// deadline ledger). Every reservation reads the *shared* global deadline —
+// never a per-thread elapsed clock — so concurrent workers can neither hand
+// out negative shares nor double-spend the budget.
+class DeadlineLedger {
+ public:
+  DeadlineLedger(const Deadline& global, double total_affinity, int count)
+      : global_(global),
+        remaining_affinity_(total_affinity),
+        remaining_count_(count) {}
+
+  // Reserves the calling subproblem's share of whatever global budget is
+  // left: affinity-weighted, floored so zero-affinity subproblems get a
+  // sliver, and capped so one solve cannot starve the queue behind it.
+  Deadline Reserve(double affinity, double* budget_seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double remaining_time = std::max(0.0, global_.RemainingSeconds());
+    const int left = std::max(1, remaining_count_);
+    const double share = remaining_affinity_ > 1e-12
+                             ? affinity / remaining_affinity_
+                             : 1.0 / left;
+    const double reserve = 0.02 * static_cast<double>(left - 1);
+    const double budget = std::max(
+        0.02, std::min(remaining_time - reserve, remaining_time * share));
+    remaining_affinity_ = std::max(0.0, remaining_affinity_ - affinity);
+    --remaining_count_;
+    *budget_seconds = budget;
+    return std::isfinite(budget) ? global_.ClampedToSeconds(budget) : global_;
+  }
+
+ private:
+  std::mutex mu_;
+  const Deadline global_;
+  double remaining_affinity_;
+  int remaining_count_;
+};
+
+// One rung of a speculative subproblem solve.
+struct AttemptRecord {
+  bool expired = false;  // global budget was gone before the attempt
+  bool pruned = false;   // skipped on the advisory breaker fast path
+  std::optional<StatusOr<SubproblemSolution>> result;  // set iff a solver ran
+};
+
+// Everything a worker learned about one subproblem, merged later in
+// canonical order. Workers never touch the placement, the report, or the
+// ladder counters — those belong to the merge.
+struct SolveRecord {
+  PoolAlgorithm primary = PoolAlgorithm::kCg;
+  PoolAlgorithm secondary = PoolAlgorithm::kMip;
+  uint64_t secondary_seed = 0;
+  double budget = 0.0;   // primary budget share, seconds
+  double seconds = 0.0;  // wall-clock of the speculative solve
+  AttemptRecord primary_attempt;
+  AttemptRecord secondary_attempt;
+  bool secondary_considered = false;  // worker reached the secondary rung
+};
+
 }  // namespace
 
 StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
                                              const Placement& current) const {
+  return Optimize(cluster, current, nullptr);
+}
+
+StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
+                                             const Placement& current,
+                                             ThreadPool* pool) const {
   Stopwatch timer;
   const Deadline deadline = Deadline::AfterSeconds(options_.timeout_seconds);
-  Rng rng(options_.seed);
 
   RasaResult result;
   result.original_gained_affinity = GainedAffinity(cluster, current);
@@ -53,110 +126,227 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
   PartitionResult partition =
       PartitionServices(cluster, current, options_.partitioning);
   result.partition_stats = partition.stats;
+  const int num_subproblems = static_cast<int>(partition.subproblems.size());
 
-  // Phase 2: per-subproblem algorithm selection + independent solves,
-  // highest internal affinity first so the deadline starves only the tail.
-  std::vector<int> order(partition.subproblems.size());
+  // Canonical solve order: highest internal affinity first so the deadline
+  // starves only the tail, with an explicit index tie-break so the order —
+  // and therefore the merge below — is unambiguous.
+  std::vector<int> order(num_subproblems);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return partition.subproblems[a].internal_affinity >
-           partition.subproblems[b].internal_affinity;
+    const double aa = partition.subproblems[a].internal_affinity;
+    const double ab = partition.subproblems[b].internal_affinity;
+    return aa != ab ? aa > ab : a < b;
   });
 
-  Placement working = partition.base_placement;
-  std::vector<int> unplaced(cluster.num_services(), 0);
-  double remaining_affinity = 0.0;
+  double total_affinity = 0.0;
   for (const Subproblem& sp : partition.subproblems) {
-    remaining_affinity += sp.internal_affinity;
+    total_affinity += sp.internal_affinity;
   }
 
-  // Degradation ladder state: per-algorithm failure counts within this run.
-  // An algorithm that keeps failing (solver error / OOT) trips its circuit
-  // breaker and is skipped for the remaining subproblems.
+  // Worker pool resolution: an external pool wins; otherwise spin one up
+  // when the options ask for more than one thread.
+  const int requested = options_.num_threads == 0
+                            ? ThreadPool::DefaultNumThreads()
+                            : std::max(1, options_.num_threads);
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (pool == nullptr && requested > 1) {
+    owned_pool = std::make_unique<ThreadPool>(requested);
+    pool = owned_pool.get();
+  }
+  result.num_threads_used = pool != nullptr ? pool->num_threads() : 1;
+
+  // Phase 2a: batch algorithm selection (parallel GCN inference; pure, so
+  // scheduling cannot change the labels).
+  const std::vector<PoolAlgorithm> selected =
+      selector_.SelectBatch(cluster, partition.subproblems, pool);
+
+  // Phase 2b: speculative per-subproblem solves, fanned out across the
+  // pool. Shared state is confined to the deadline ledger and the advisory
+  // failure flags; everything else is per-record.
+  DeadlineLedger ledger(deadline, total_affinity, num_subproblems);
+  std::vector<SolveRecord> records(num_subproblems);
+
+  // failure_flags[a * n + p] == 1 iff the attempt of algorithm `a` at
+  // canonical position `p` ran and failed. The advisory breaker counts only
+  // positions *before* the asking one, so a flag it acts on is a failure
+  // the canonical replay is guaranteed to have seen too — pruning can skip
+  // wasted solver work but can never change the merged outcome.
+  std::vector<std::atomic<uint8_t>> failure_flags(
+      static_cast<size_t>(2 * std::max(1, num_subproblems)));
+  for (std::atomic<uint8_t>& flag : failure_flags) {
+    flag.store(0, std::memory_order_relaxed);
+  }
+  auto advisory_breaker_open = [&](PoolAlgorithm algorithm, int position) {
+    if (options_.circuit_breaker_failures <= 0) return false;
+    const int a = static_cast<int>(algorithm);
+    int failures = 0;
+    for (int p = 0; p < position; ++p) {
+      failures += failure_flags[static_cast<size_t>(a * num_subproblems + p)]
+                      .load(std::memory_order_acquire);
+    }
+    return failures >= options_.circuit_breaker_failures;
+  };
+  auto mark_failed = [&](PoolAlgorithm algorithm, int position) {
+    const int a = static_cast<int>(algorithm);
+    failure_flags[static_cast<size_t>(a * num_subproblems + position)].store(
+        1, std::memory_order_release);
+  };
+
+  auto solve_one = [&](int position) {
+    const int idx = order[position];
+    const Subproblem& sp = partition.subproblems[idx];
+    SolveRecord& rec = records[position];
+    Stopwatch sp_timer;
+
+    // Per-subproblem RNG stream; both attempt seeds are drawn up front so
+    // they do not depend on which rungs actually run.
+    Rng sp_rng(options_.seed ^
+               (kStreamSalt * (static_cast<uint64_t>(idx) + 1)));
+    const uint64_t primary_seed = sp_rng.Next();
+    rec.secondary_seed = sp_rng.Next();
+
+    rec.primary = selected[idx];
+    rec.secondary = rec.primary == PoolAlgorithm::kCg ? PoolAlgorithm::kMip
+                                                      : PoolAlgorithm::kCg;
+    const Deadline sp_deadline =
+        ledger.Reserve(sp.internal_affinity, &rec.budget);
+
+    if (deadline.Expired()) {
+      rec.primary_attempt.expired = true;
+    } else if (advisory_breaker_open(rec.primary, position)) {
+      rec.primary_attempt.pruned = true;
+    } else {
+      rec.primary_attempt.result =
+          RunPoolAlgorithm(rec.primary, cluster, sp, partition.base_placement,
+                           current, sp_deadline, primary_seed);
+      if (!rec.primary_attempt.result->ok()) {
+        mark_failed(rec.primary, position);
+      }
+    }
+
+    const bool primary_ok =
+        rec.primary_attempt.result && rec.primary_attempt.result->ok();
+    if (!primary_ok && options_.try_secondary_algorithm) {
+      // Rung 2 of the ladder, speculatively: the other pool algorithm on a
+      // fresh slice of whatever global budget remains.
+      rec.secondary_considered = true;
+      if (deadline.Expired()) {
+        rec.secondary_attempt.expired = true;
+      } else if (advisory_breaker_open(rec.secondary, position)) {
+        rec.secondary_attempt.pruned = true;
+      } else {
+        rec.secondary_attempt.result = RunPoolAlgorithm(
+            rec.secondary, cluster, sp, partition.base_placement, current,
+            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
+            rec.secondary_seed);
+        if (!rec.secondary_attempt.result->ok()) {
+          mark_failed(rec.secondary, position);
+        }
+      }
+    }
+    rec.seconds = sp_timer.ElapsedSeconds();
+  };
+
+  if (pool != nullptr) {
+    pool->ParallelFor(num_subproblems, solve_one);
+  } else {
+    for (int position = 0; position < num_subproblems; ++position) {
+      solve_one(position);
+    }
+  }
+
+  // Phase 2c: merge in canonical order. The degradation ladder, breaker,
+  // and counters are *replayed* here single-threaded, so the merged
+  // placement and every counter are independent of worker scheduling.
+  Placement working = partition.base_placement;
+  std::vector<int> unplaced(cluster.num_services(), 0);
   int algorithm_failures[2] = {0, 0};
-  auto breaker_open = [&](PoolAlgorithm a) {
+  auto breaker_open = [&](PoolAlgorithm algorithm) {
     return options_.circuit_breaker_failures > 0 &&
-           algorithm_failures[static_cast<int>(a)] >=
+           algorithm_failures[static_cast<int>(algorithm)] >=
                options_.circuit_breaker_failures;
   };
 
-  for (int idx : order) {
+  for (int position = 0; position < num_subproblems; ++position) {
+    const int idx = order[position];
     const Subproblem& sp = partition.subproblems[idx];
+    SolveRecord& rec = records[position];
     SubproblemReport report;
     report.num_services = static_cast<int>(sp.services.size());
     report.num_machines = static_cast<int>(sp.machines.size());
     report.internal_affinity = sp.internal_affinity;
+    report.algorithm = rec.primary;
+    report.seconds = rec.seconds;
 
-    Stopwatch sp_timer;
-    // Affinity-weighted share of the remaining budget, floored so even
-    // zero-affinity subproblems get a sliver, and capped so a single solve
-    // cannot starve the rest of the queue. An already-expired (or infinite)
-    // global deadline must never push a negative/non-finite share into
-    // ClampedToSeconds, hence the clamps.
-    const double remaining_time = std::max(0.0, deadline.RemainingSeconds());
-    const size_t solved = result.subproblems.size();
-    const size_t left = partition.subproblems.size() - solved;
-    double share = remaining_affinity > 1e-12
-                       ? sp.internal_affinity / remaining_affinity
-                       : 1.0 / std::max<size_t>(1, left);
-    const double reserve = 0.02 * static_cast<double>(left > 0 ? left - 1 : 0);
-    const double budget = std::max(
-        0.02, std::min(remaining_time - reserve, remaining_time * share));
-    remaining_affinity -= sp.internal_affinity;
-    const Deadline sp_deadline = std::isfinite(budget)
-                                     ? deadline.ClampedToSeconds(budget)
-                                     : deadline;
-
-    report.algorithm = selector_.Select(cluster, sp);
-    const PoolAlgorithm primary = report.algorithm;
-    const PoolAlgorithm secondary =
-        primary == PoolAlgorithm::kCg ? PoolAlgorithm::kMip
-                                      : PoolAlgorithm::kCg;
-
-    auto attempt = [&](PoolAlgorithm algorithm,
-                       const Deadline& dl) -> StatusOr<SubproblemSolution> {
-      if (deadline.Expired()) {
-        return DeadlineExceededError("global budget exhausted");
-      }
-      if (breaker_open(algorithm)) {
-        ++result.breaker_skips;
-        return ResourceExhaustedError(
-            StrFormat("%s circuit breaker open",
-                      PoolAlgorithmToString(algorithm)));
-      }
-      StatusOr<SubproblemSolution> sol =
-          RunPoolAlgorithm(algorithm, cluster, sp, partition.base_placement,
-                           current, dl, rng.Next());
-      if (!sol.ok()) {
-        ++algorithm_failures[static_cast<int>(algorithm)];
+    // Rung 1: the selected algorithm.
+    const SubproblemSolution* solution = nullptr;
+    if (rec.primary_attempt.expired) {
+      // Global budget was exhausted: no attempt, no counters (matches the
+      // sequential ladder).
+    } else if (breaker_open(rec.primary)) {
+      ++result.breaker_skips;
+    } else if (rec.primary_attempt.result) {
+      if (rec.primary_attempt.result->ok()) {
+        solution = &rec.primary_attempt.result->value();
+      } else {
+        ++algorithm_failures[static_cast<int>(rec.primary)];
         ++result.solver_failures;
       }
-      return sol;
-    };
+    } else {
+      // Advisory-pruned: by construction the replayed breaker is open here
+      // too, so the branch above must have caught it.
+      RASA_LOG(Warning) << "subproblem " << idx
+                        << ": advisory prune without open breaker";
+      ++result.breaker_skips;
+    }
 
-    StatusOr<SubproblemSolution> solution = attempt(primary, sp_deadline);
-    if (!solution.ok() && options_.try_secondary_algorithm &&
-        !deadline.Expired() && !breaker_open(secondary)) {
-      // Rung 2 of the ladder: the other pool algorithm, on a fresh slice of
-      // whatever global budget remains.
-      StatusOr<SubproblemSolution> rescued = attempt(
-          secondary, deadline.ClampedToSeconds(std::max(0.02, 0.5 * budget)));
-      if (rescued.ok()) {
-        RASA_LOG(Info) << "subproblem " << idx << ": "
-                       << PoolAlgorithmToString(primary) << " failed, "
-                       << PoolAlgorithmToString(secondary) << " rescued it";
-        solution = std::move(rescued);
-        report.used_secondary = true;
-        ++result.secondary_successes;
+    // Rung 2: the other pool algorithm.
+    StatusOr<SubproblemSolution> repair =
+        InternalError("secondary not attempted");
+    if (solution == nullptr && options_.try_secondary_algorithm &&
+        !breaker_open(rec.secondary)) {
+      const StatusOr<SubproblemSolution>* secondary = nullptr;
+      if (rec.secondary_considered) {
+        if (rec.secondary_attempt.result) {
+          secondary = &*rec.secondary_attempt.result;
+        }
+        // expired / pruned: the sequential ladder would have skipped the
+        // rung at this point too (pruned implies the breaker is open, which
+        // the gate above already rejected).
+      } else if (!deadline.Expired()) {
+        // The worker saw its primary succeed, but the replayed breaker
+        // discarded it (the breaker opened later in wall-clock, earlier in
+        // canonical order). Solve the rung now, with the pre-assigned seed
+        // and the same budget slice a sequential run would use.
+        repair = RunPoolAlgorithm(
+            rec.secondary, cluster, sp, partition.base_placement, current,
+            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
+            rec.secondary_seed);
+        secondary = &repair;
+      }
+      if (secondary != nullptr) {
+        if (secondary->ok()) {
+          RASA_LOG(Info) << "subproblem " << idx << ": "
+                         << PoolAlgorithmToString(rec.primary) << " failed, "
+                         << PoolAlgorithmToString(rec.secondary)
+                         << " rescued it";
+          solution = &secondary->value();
+          report.used_secondary = true;
+          ++result.secondary_successes;
+        } else {
+          ++algorithm_failures[static_cast<int>(rec.secondary)];
+          ++result.solver_failures;
+        }
       }
     }
-    if (!solution.ok()) {
+
+    if (solution == nullptr) {
       report.failed = true;
       ++result.greedy_fallbacks;
       RASA_LOG(Info) << "subproblem " << idx << " ("
                      << PoolAlgorithmToString(report.algorithm)
-                     << ") failed: " << solution.status().ToString()
-                     << "; using affinity greedy";
+                     << ") fell through the ladder; using affinity greedy";
       // Affinity-aware greedy fallback: far better than scattering the
       // containers through the default scheduler.
       SubproblemSolution greedy = GreedyAffinityPlace(cluster, sp, working);
@@ -193,7 +383,6 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
       report.gained_affinity = solution->gained_affinity;
       report.unplaced_containers = solution->unplaced_containers;
     }
-    report.seconds = sp_timer.ElapsedSeconds();
     result.subproblems.push_back(report);
   }
 
@@ -210,7 +399,8 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
   if (options_.refine_with_local_search && !deadline.Expired()) {
     LocalSearchOptions ls;
     ls.deadline = deadline;
-    ls.seed = rng.Next();
+    // Own stream, independent of how many solver seeds were drawn.
+    ls.seed = Rng(options_.seed ^ kStreamSalt).Next();
     RefinePlacement(cluster, working, ls);
   }
 

@@ -12,6 +12,8 @@
 
 namespace rasa {
 
+class ThreadPool;
+
 /// Top-level options of the RASA algorithm (§IV-A).
 struct RasaOptions {
   PartitioningOptions partitioning;
@@ -35,6 +37,13 @@ struct RasaOptions {
   /// Optimize run the algorithm is skipped for the remaining subproblems
   /// (0 disables the breaker).
   int circuit_breaker_failures = 3;
+  /// Worker threads for the per-subproblem solves and batch selector
+  /// inference: 1 = sequential (default), 0 = one per hardware thread,
+  /// n > 1 = a pool of n. Every subproblem gets its own RNG stream and
+  /// results are merged in canonical order, so the optimized placement and
+  /// all ladder counters are bit-identical at every thread count (see
+  /// DESIGN.md "Threading model").
+  int num_threads = 1;
   uint64_t seed = 42;
 };
 
@@ -62,6 +71,8 @@ struct RasaResult {
   double original_gained_affinity = 0.0;
   double new_gained_affinity = 0.0;
   double elapsed_seconds = 0.0;
+  /// Worker threads the subproblem phase actually ran with.
+  int num_threads_used = 1;
   /// Containers that could not be placed anywhere (left offline; should be
   /// zero with default generator headroom).
   int lost_containers = 0;
@@ -88,6 +99,14 @@ class RasaOptimizer {
 
   StatusOr<RasaResult> Optimize(const Cluster& cluster,
                                 const Placement& current) const;
+
+  /// As above, but solves subproblems on `pool` (callers that run many
+  /// Optimize rounds — the workflow, benches — reuse one pool instead of
+  /// spawning workers per call). A null pool falls back to
+  /// `options().num_threads` semantics.
+  StatusOr<RasaResult> Optimize(const Cluster& cluster,
+                                const Placement& current,
+                                ThreadPool* pool) const;
 
   const RasaOptions& options() const { return options_; }
 

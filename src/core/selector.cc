@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rasa {
 
@@ -95,6 +96,22 @@ PoolAlgorithm AlgorithmSelector::Select(const Cluster& cluster,
     }
   }
   return PoolAlgorithm::kCg;
+}
+
+std::vector<PoolAlgorithm> AlgorithmSelector::SelectBatch(
+    const Cluster& cluster, const std::vector<Subproblem>& subproblems,
+    ThreadPool* pool) const {
+  std::vector<PoolAlgorithm> out(subproblems.size(), PoolAlgorithm::kCg);
+  if (pool == nullptr || subproblems.size() <= 1) {
+    for (size_t i = 0; i < subproblems.size(); ++i) {
+      out[i] = Select(cluster, subproblems[i]);
+    }
+    return out;
+  }
+  pool->ParallelFor(static_cast<int>(subproblems.size()), [&](int i) {
+    out[i] = Select(cluster, subproblems[i]);
+  });
+  return out;
 }
 
 }  // namespace rasa

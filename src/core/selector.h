@@ -1,6 +1,8 @@
 #ifndef RASA_CORE_SELECTOR_H_
 #define RASA_CORE_SELECTOR_H_
 
+#include <vector>
+
 #include "cluster/cluster.h"
 #include "core/algorithm_pool.h"
 #include "core/subproblem.h"
@@ -8,6 +10,8 @@
 #include "ml/gcn.h"
 
 namespace rasa {
+
+class ThreadPool;
 
 /// Algorithm-selection policies compared in §V-C.
 enum class SelectorPolicy {
@@ -49,6 +53,15 @@ class AlgorithmSelector {
 
   PoolAlgorithm Select(const Cluster& cluster,
                        const Subproblem& subproblem) const;
+
+  /// Selects for every subproblem at once. With a pool, feature-graph
+  /// construction and model inference fan out one subproblem per task (the
+  /// GCN forward pass is the hot kernel at production subproblem counts);
+  /// selection is pure, so the result is identical to a Select loop
+  /// regardless of scheduling.
+  std::vector<PoolAlgorithm> SelectBatch(
+      const Cluster& cluster, const std::vector<Subproblem>& subproblems,
+      ThreadPool* pool = nullptr) const;
 
  private:
   SelectorPolicy policy_;

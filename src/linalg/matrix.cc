@@ -20,18 +20,76 @@ Matrix Matrix::Random(int rows, int cols, double scale, Rng& rng) {
   return m;
 }
 
+namespace {
+
+/// Column-tile width of the blocked kernels: 64 doubles = 4KB per B-row
+/// stripe segment, so a K x 64 stripe of B stays cache-resident while every
+/// row of A streams against it.
+constexpr int kMatMulTile = 64;
+
+}  // namespace
+
 Matrix Matrix::MatMul(const Matrix& other) const {
   assert(cols_ == other.rows_);
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order keeps the inner loop contiguous in both inputs.
+  const int n = other.cols_;
+  // Blocked i-k-j: the jb stripe of `other` is reused across all rows of
+  // `this` before moving on. For every output cell the k-accumulation order
+  // is unchanged (ascending, zeros skipped), so tiling is bit-identical to
+  // the naive kernel.
+  for (int jb = 0; jb < n; jb += kMatMulTile) {
+    const int je = std::min(n, jb + kMatMulTile);
+    for (int i = 0; i < rows_; ++i) {
+      const double* a_row = &data_[static_cast<size_t>(i) * cols_];
+      double* o_row = &out.data_[static_cast<size_t>(i) * n];
+      for (int k = 0; k < cols_; ++k) {
+        const double a = a_row[k];
+        if (a == 0.0) continue;
+        const double* b_row = &other.data_[static_cast<size_t>(k) * n];
+        for (int j = jb; j < je; ++j) o_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::TransposedMatMul(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  const int n = other.cols_;
+  // out[i][j] = sum_k this[k][i] * other[k][j]: k outer keeps both inputs
+  // row-contiguous, and every output cell still accumulates in ascending-k
+  // order — the same sums, in the same order, as Transpose().MatMul(other).
+  for (int k = 0; k < rows_; ++k) {
+    const double* a_row = &data_[static_cast<size_t>(k) * cols_];
+    const double* b_row = &other.data_[static_cast<size_t>(k) * n];
+    for (int i = 0; i < cols_; ++i) {
+      const double a = a_row[i];
+      if (a == 0.0) continue;
+      double* o_row = &out.data_[static_cast<size_t>(i) * n];
+      for (int j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::MatMulTransposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  // out[i][j] = dot(this.row(i), other.row(j)): both operands stream
+  // contiguously with no transpose scratch matrix.
   for (int i = 0; i < rows_; ++i) {
     const double* a_row = &data_[static_cast<size_t>(i) * cols_];
-    double* o_row = &out.data_[static_cast<size_t>(i) * other.cols_];
-    for (int k = 0; k < cols_; ++k) {
-      const double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = &other.data_[static_cast<size_t>(k) * other.cols_];
-      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    double* o_row = &out.data_[static_cast<size_t>(i) * other.rows_];
+    for (int j = 0; j < other.rows_; ++j) {
+      const double* b_row = &other.data_[static_cast<size_t>(j) * cols_];
+      double acc = 0.0;
+      for (int k = 0; k < cols_; ++k) {
+        const double a = a_row[k];
+        if (a == 0.0) continue;
+        acc += a * b_row[k];
+      }
+      o_row[j] = acc;
     }
   }
   return out;

@@ -43,6 +43,13 @@ class Matrix {
   Matrix MatMul(const Matrix& other) const;
   Matrix Transpose() const;
 
+  /// this^T * other without materializing the transpose. Requires
+  /// rows() == other.rows(). Bit-identical to Transpose().MatMul(other).
+  Matrix TransposedMatMul(const Matrix& other) const;
+  /// this * other^T without materializing the transpose. Requires
+  /// cols() == other.cols(). Bit-identical to MatMul(other.Transpose()).
+  Matrix MatMulTransposed(const Matrix& other) const;
+
   Matrix& AddInPlace(const Matrix& other);
   Matrix& SubInPlace(const Matrix& other);
   Matrix& ScaleInPlace(double factor);

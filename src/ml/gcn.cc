@@ -102,9 +102,9 @@ double GcnClassifier::TrainStep(const FeatureGraph& graph, int label,
   // Backward.
   Matrix dlogits = probs;                                 // 1 x c
   dlogits(0, label) -= 1.0;
-  const Matrix dw_out = readout.Transpose().MatMul(dlogits);
+  const Matrix dw_out = readout.TransposedMatMul(dlogits);
   const Matrix db_out = dlogits;
-  const Matrix dreadout = dlogits.MatMul(w_out_.Transpose());  // 1 x h
+  const Matrix dreadout = dlogits.MatMulTransposed(w_out_);  // 1 x h
   // d(mean over rows) spreads the gradient evenly to each vertex.
   Matrix dh2(n, dreadout.cols());
   for (int i = 0; i < n; ++i) {
@@ -113,12 +113,12 @@ double GcnClassifier::TrainStep(const FeatureGraph& graph, int label,
     }
   }
   const Matrix dz2 = dh2.Hadamard(z2.ReluMask());
-  const Matrix dw1 = ah1.Transpose().MatMul(dz2);
+  const Matrix dw1 = ah1.TransposedMatMul(dz2);
   const Matrix db1 = ColSums(dz2);
   // dH1 = A_hat^T dZ2 W1^T; A_hat is symmetric.
-  const Matrix dh1 = graph.a_hat.MatMul(dz2).MatMul(w1_.Transpose());
+  const Matrix dh1 = graph.a_hat.MatMul(dz2).MatMulTransposed(w1_);
   const Matrix dz1 = dh1.Hadamard(z1.ReluMask());
-  const Matrix dw0 = ax.Transpose().MatMul(dz1);
+  const Matrix dw0 = ax.TransposedMatMul(dz1);
   const Matrix db0 = ColSums(dz1);
 
   opt.NextStep();
@@ -243,11 +243,11 @@ double MlpClassifier::TrainStep(const Matrix& mean_features, int label,
 
   Matrix dlogits = probs;
   dlogits(0, label) -= 1.0;
-  const Matrix dw_out = h1.Transpose().MatMul(dlogits);
+  const Matrix dw_out = h1.TransposedMatMul(dlogits);
   const Matrix db_out = dlogits;
-  const Matrix dh1 = dlogits.MatMul(w_out_.Transpose());
+  const Matrix dh1 = dlogits.MatMulTransposed(w_out_);
   const Matrix dz1 = dh1.Hadamard(z1.ReluMask());
-  const Matrix dw0 = mean_features.Transpose().MatMul(dz1);
+  const Matrix dw0 = mean_features.TransposedMatMul(dz1);
   const Matrix db0 = dz1;
 
   opt.NextStep();

@@ -1,10 +1,12 @@
 #include "sim/workflow.h"
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/migration.h"
 #include "core/migration_executor.h"
@@ -100,6 +102,15 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
   std::vector<int> frozen_cooldown(cluster.num_services(), 0);
   // The chaos source lives across cycles so cordons span migrations.
   FaultInjector injector(options.faults);
+  // One worker pool shared by every cycle's optimizer run: spawning threads
+  // once instead of per cycle keeps the per-cycle overhead at zero.
+  const int solver_threads = options.rasa.num_threads == 0
+                                 ? ThreadPool::DefaultNumThreads()
+                                 : std::max(1, options.rasa.num_threads);
+  std::unique_ptr<ThreadPool> solver_pool;
+  if (solver_threads > 1) {
+    solver_pool = std::make_unique<ThreadPool>(solver_threads);
+  }
 
   for (int cycle = 0; cycle < options.cycles; ++cycle) {
     Stopwatch timer;
@@ -141,7 +152,8 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
         options.inject_faults && injector.DrawOptimizerFailure()
             ? StatusOr<RasaResult>(
                   InternalError("injected optimizer failure"))
-            : optimizer.Optimize(*state.measured_cluster, state.placement);
+            : optimizer.Optimize(*state.measured_cluster, state.placement,
+                                 solver_pool.get());
     if (!optimized.ok()) {
       RASA_LOG(Warning) << "cycle " << cycle << " optimizer failed: "
                         << optimized.status().ToString()

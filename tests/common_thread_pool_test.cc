@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(-3);
+  EXPECT_EQ(pool.num_threads(), 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureWithResult) {
+  ThreadPool pool(2);
+  std::future<int> a = pool.Submit([] { return 7; });
+  std::future<std::string> b = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kN = 997;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(kN, [&](int i) { hits[i].fetch_add(1); });
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroOrNegativeCountIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, [&](int) { calls.fetch_add(1); });
+  pool.ParallelFor(-5, [&](int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [](int i) {
+                                  if (i == 13) {
+                                    throw std::runtime_error("task 13");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+// Workers submitting from inside tasks must not deadlock: nested
+// ParallelFor bodies are pushed onto the worker's own deque and the blocked
+// outer task helps drain them (work stealing covers the rest).
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](int) {
+    pool.ParallelFor(8, [&](int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, StressManySmallTasks) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 20000;
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 256; ++i) {
+      pool.Submit([&executed] { executed.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(executed.load(), 256);
+}
+
+}  // namespace
+}  // namespace rasa
