@@ -24,7 +24,7 @@ int main() {
   train.cluster_scale = 1.5 * BenchScale();
   std::fprintf(stderr, "training/loading selectors...\n");
   StatusOr<TrainedSelectors> selectors =
-      GetOrTrainSelectors("rasa_selector_cache", train);
+      GetOrTrainSelectors(ResolveSelectorCachePrefix(), train);
   RASA_CHECK(selectors.ok()) << selectors.status().ToString();
 
   struct Policy {

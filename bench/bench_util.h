@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/generator.h"
+#include "common/json_writer.h"
 #include "common/logging.h"
 #include "common/strings.h"
 #include "core/selector_trainer.h"
@@ -49,8 +50,11 @@ inline std::vector<ClusterSnapshot> BenchClusters() {
 }
 
 /// The selector used by the "full RASA" benches (Figs. 6, 7, 9, 10): the
-/// trained GCN, cached at ./rasa_selector_cache.{gcn,mlp} so the labeling +
-/// training pass runs once across all bench binaries.
+/// trained GCN, cached at the resolved selector-cache prefix (see
+/// ResolveSelectorCachePrefix: RASA_SELECTOR_CACHE env or
+/// .rasa_cache/ under the working directory) so the labeling + training
+/// pass runs once across all bench binaries without littering the source
+/// tree with model artifacts.
 inline AlgorithmSelector BenchSelector() {
   SelectorTrainingOptions train;
   train.num_samples = 120;
@@ -58,7 +62,7 @@ inline AlgorithmSelector BenchSelector() {
   train.cluster_scale = 1.5 * BenchScale();
   std::fprintf(stderr, "loading/training the GCN selector...\n");
   StatusOr<TrainedSelectors> selectors =
-      GetOrTrainSelectors("rasa_selector_cache", train);
+      GetOrTrainSelectors(ResolveSelectorCachePrefix(), train);
   RASA_CHECK(selectors.ok()) << selectors.status().ToString();
   return AlgorithmSelector(std::move(selectors->gcn));
 }
@@ -143,13 +147,9 @@ class BenchJsonWriter {
   }
 
  private:
+  // Shared JSON plumbing (also used by the metrics exporter).
   static std::string Escaped(const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
+    return JsonWriter::Escaped(s);
   }
 
   std::string name_;

@@ -14,16 +14,29 @@
 //       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
 //       harness injects command failures / a mid-migration machine cordon.
 //
-// `optimize` and `workflow` additionally accept --threads N anywhere on the
-// command line: N solver worker threads (0 = one per hardware thread,
-// default 1 = sequential). The optimized placement is bit-identical at
-// every thread count.
+// `optimize` and `workflow` additionally accept anywhere on the command
+// line:
+//   --threads N          N solver worker threads (0 = one per hardware
+//                        thread, default 1 = sequential). The optimized
+//                        placement is bit-identical at every thread count
+//                        and with metrics on or off.
+//   --metrics-out=FILE   after the run, scrape the metric registry and
+//                        write a machine-readable JSON report (counters,
+//                        gauges, histograms; for `workflow` also the
+//                        per-cycle snapshots; plus the trace when --trace
+//                        is on).
+//   --trace              record the hierarchical phase timeline and print
+//                        it as an indented tree on stderr.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "cluster/serialization.h"
+#include "common/json_writer.h"
+#include "common/metrics.h"
 #include "core/objective.h"
 #include "core/rasa.h"
 #include "graph/powerlaw_fit.h"
@@ -39,10 +52,15 @@ int Usage() {
       "usage:\n"
       "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
       "  rasa_cli stats <in.snapshot>\n"
-      "  rasa_cli optimize [--threads N] <in.snapshot> [timeout_s] "
+      "  rasa_cli optimize [flags] <in.snapshot> [timeout_s] "
       "[out.snapshot]\n"
-      "  rasa_cli workflow [--threads N] <in.snapshot> [cycles] [fail_prob] "
-      "[cordon_after] [seed]\n");
+      "  rasa_cli workflow [flags] <in.snapshot> [cycles] [fail_prob] "
+      "[cordon_after] [seed]\n"
+      "flags (optimize/workflow, anywhere on the line):\n"
+      "  --threads N         solver worker threads (0 = hardware threads)\n"
+      "  --metrics-out=FILE  write a JSON metrics/trace report after the "
+      "run\n"
+      "  --trace             record + print the phase timeline\n");
   return 2;
 }
 
@@ -60,6 +78,80 @@ int ExtractThreads(int& argc, char** argv) {
   }
   argc = out;
   return threads;
+}
+
+// Extracts `--metrics-out=FILE` (or `--metrics-out FILE`) from argv and
+// returns FILE; empty when absent.
+std::string ExtractMetricsOut(int& argc, char** argv) {
+  constexpr const char* kFlag = "--metrics-out";
+  const size_t flag_len = std::strlen(kFlag);
+  std::string path;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, flag_len) == 0 &&
+        argv[i][flag_len] == '=') {
+      path = argv[i] + flag_len + 1;
+      continue;
+    }
+    if (std::strcmp(argv[i], kFlag) == 0 && i + 1 < argc) {
+      path = argv[++i];
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
+
+// Extracts the presence of `--trace` from argv.
+bool ExtractTrace(int& argc, char** argv) {
+  bool trace = false;
+  int out = 0;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  argc = out;
+  return trace;
+}
+
+// Post-run observability output: writes the JSON report (registry scrape +
+// optional per-cycle workflow snapshots + completed trace spans) and prints
+// the human-readable trace tree. Returns false if the file write failed.
+bool EmitObservability(const std::string& metrics_out, bool trace,
+                       const WorkflowReport* workflow) {
+  if (trace) {
+    std::fprintf(stderr, "--- phase trace ---\n%s",
+                 Tracer::Default().SummaryTree().c_str());
+  }
+  if (metrics_out.empty()) return true;
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics");
+  MetricRegistry::Default().Scrape().AppendJson(w);
+  if (workflow != nullptr) {
+    w.Key("cycles").BeginArray();
+    for (const CycleReport& cr : workflow->cycles) {
+      cr.metrics.AppendJson(w);
+    }
+    w.EndArray();
+  }
+  if (trace) {
+    w.Key("trace");
+    Tracer::Default().AppendJson(w);
+  }
+  w.EndObject();
+  std::ofstream out(metrics_out);
+  if (!out) {
+    std::fprintf(stderr, "metrics: cannot write %s\n", metrics_out.c_str());
+    return false;
+  }
+  out << w.str() << "\n";
+  std::fprintf(stderr, "metrics: wrote %s\n", metrics_out.c_str());
+  return true;
 }
 
 int Generate(int argc, char** argv) {
@@ -122,7 +214,8 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
-int Optimize(int argc, char** argv, int threads) {
+int Optimize(int argc, char** argv, int threads,
+             const std::string& metrics_out, bool trace) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -163,10 +256,11 @@ int Optimize(int argc, char** argv, int threads) {
     }
     std::printf("wrote optimized snapshot to %s\n", argv[4]);
   }
-  return 0;
+  return EmitObservability(metrics_out, trace, nullptr) ? 0 : 1;
 }
 
-int Workflow(int argc, char** argv, int threads) {
+int Workflow(int argc, char** argv, int threads,
+             const std::string& metrics_out, bool trace) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -216,6 +310,7 @@ int Workflow(int argc, char** argv, int threads) {
   std::printf("final gained affinity: %.4f (feasible: %s)\n",
               GainedAffinity(*snapshot->cluster, report->final_placement),
               report->final_placement.CheckFeasible(true).ok() ? "yes" : "no");
+  if (!EmitObservability(metrics_out, trace, &*report)) return 1;
   return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
 }
 
@@ -223,14 +318,17 @@ int Workflow(int argc, char** argv, int threads) {
 
 int main(int argc, char** argv) {
   const int threads = ExtractThreads(argc, argv);
+  const std::string metrics_out = ExtractMetricsOut(argc, argv);
+  const bool trace = ExtractTrace(argc, argv);
+  if (trace) rasa::Tracer::Default().Enable(true);
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
   if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
   if (std::strcmp(argv[1], "optimize") == 0) {
-    return Optimize(argc, argv, threads);
+    return Optimize(argc, argv, threads, metrics_out, trace);
   }
   if (std::strcmp(argv[1], "workflow") == 0) {
-    return Workflow(argc, argv, threads);
+    return Workflow(argc, argv, threads, metrics_out, trace);
   }
   return Usage();
 }

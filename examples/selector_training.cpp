@@ -4,17 +4,35 @@
 // baseline, and reports their accuracy against the simple heuristic.
 //
 // Build & run:  ./build/examples/selector_training [num_samples]
+//                 [--selector-cache PREFIX]
+//
+// Trained weights land at `<prefix>.gcn` / `<prefix>.mlp`; without the
+// flag the prefix resolves via RASA_SELECTOR_CACHE or to
+// `.rasa_cache/rasa_selector_cache` under the working directory, keeping
+// artifacts out of the source tree.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/selector_trainer.h"
 
 int main(int argc, char** argv) {
   using namespace rasa;
 
+  std::string cache_flag;
+  int num_samples = 80;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selector-cache") == 0 && i + 1 < argc) {
+      cache_flag = argv[++i];
+    } else {
+      num_samples = std::atoi(argv[i]);
+    }
+  }
+
   SelectorTrainingOptions options;
-  options.num_samples = argc > 1 ? std::atoi(argv[1]) : 80;
+  options.num_samples = num_samples;
   options.label_timeout_seconds = 0.2;
   options.cluster_scale = 24.0;
   options.epochs = 80;
@@ -39,9 +57,10 @@ int main(int argc, char** argv) {
   std::printf("majority-class baseline: %.1f%%\n", 100.0 * majority);
 
   // Persist the models for the benches / production use.
-  const Status s1 = trained.gcn.SaveToFile("rasa_selector_cache.gcn");
-  const Status s2 = trained.mlp.SaveToFile("rasa_selector_cache.mlp");
-  std::printf("\nsaved selectors: %s / %s\n", s1.ToString().c_str(),
-              s2.ToString().c_str());
+  const std::string prefix = ResolveSelectorCachePrefix(cache_flag);
+  const Status s1 = trained.gcn.SaveToFile(prefix + ".gcn");
+  const Status s2 = trained.mlp.SaveToFile(prefix + ".mlp");
+  std::printf("\nsaved selectors to %s.{gcn,mlp}: %s / %s\n", prefix.c_str(),
+              s1.ToString().c_str(), s2.ToString().c_str());
   return 0;
 }

@@ -1,0 +1,146 @@
+#ifndef RASA_COMMON_JSON_WRITER_H_
+#define RASA_COMMON_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rasa {
+
+/// Minimal streaming JSON builder shared by the metrics exporter and the
+/// bench result writers. Numbers are emitted unquoted with full round-trip
+/// precision (%.17g) so downstream tooling can diff runs bit-exactly;
+/// non-finite doubles degrade to null (JSON has no NaN/Inf).
+///
+/// The writer tracks nesting itself, so callers only sequence
+/// BeginObject/Key/Value/EndObject calls; commas are inserted automatically.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() {
+    Comma();
+    out_.push_back('{');
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_.push_back('}');
+    needs_comma_.pop_back();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Comma();
+    out_.push_back('[');
+    needs_comma_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_.push_back(']');
+    needs_comma_.pop_back();
+    return *this;
+  }
+
+  JsonWriter& Key(const std::string& key) {
+    Comma();
+    out_.push_back('"');
+    out_ += Escaped(key);
+    out_ += "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& Value(const std::string& v) {
+    Comma();
+    out_.push_back('"');
+    out_ += Escaped(v);
+    out_.push_back('"');
+    return *this;
+  }
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+  JsonWriter& Value(double v) {
+    Comma();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+  JsonWriter& Value(int v) { return ValueFormatted("%d", v); }
+  JsonWriter& Value(long v) { return ValueFormatted("%ld", v); }
+  JsonWriter& Value(unsigned long v) { return ValueFormatted("%lu", v); }
+  JsonWriter& Value(unsigned long long v) { return ValueFormatted("%llu", v); }
+  JsonWriter& Value(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+ private:
+  template <typename T>
+  JsonWriter& ValueFormatted(const char* fmt, T v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    out_ += buf;
+    return *this;
+  }
+
+  // Emits the separating comma before a sibling value/key; a value directly
+  // following its key never takes one.
+  void Comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!needs_comma_.empty()) {
+      if (needs_comma_.back()) out_ += ", ";
+      needs_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> needs_comma_;
+  bool pending_key_ = false;
+};
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_JSON_WRITER_H_

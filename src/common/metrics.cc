@@ -1,0 +1,345 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_writer.h"
+#include "common/strings.h"
+
+namespace rasa {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Relaxed CAS add for atomic<double>: every shard slot is written by (at
+// most a few) known threads and only summed on scrape, so relaxed ordering
+// is sufficient and TSan-clean.
+void AtomicAdd(std::atomic<double>& slot, double delta) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (!slot.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& slot, double v) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AppendHistogramJson(JsonWriter& w, const Histogram::Snapshot& h) {
+  w.BeginObject();
+  w.Key("count").Value(static_cast<unsigned long long>(h.count));
+  w.Key("sum").Value(h.sum);
+  if (h.count > 0) {
+    w.Key("min").Value(h.min);
+    w.Key("max").Value(h.max);
+    w.Key("mean").Value(h.sum / static_cast<double>(h.count));
+  }
+  // Sparse bucket list: only non-empty buckets, as {"le": bound, "n": c}.
+  w.Key("buckets").BeginArray();
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    w.BeginObject();
+    w.Key("le").Value(Histogram::BucketUpperBound(b));
+    w.Key("n").Value(static_cast<unsigned long long>(h.buckets[b]));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+}
+
+// Per-thread stack of open span ids (for implicit parenting).
+thread_local std::vector<int64_t>* tls_span_stack = nullptr;
+
+std::vector<int64_t>& SpanStack() {
+  // Leaked per thread once; threads in this repo are long-lived pool
+  // workers, so the bounded leak keeps shutdown order trivial.
+  if (tls_span_stack == nullptr) tls_span_stack = new std::vector<int64_t>();
+  return *tls_span_stack;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int CurrentShardIndex() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(id % static_cast<unsigned>(kMetricShards));
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& shard : shards_) {
+    shard.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= kMinBound)) return 0;  // underflow; also catches NaN
+  const int octave = static_cast<int>(std::floor(std::log2(value / kMinBound)));
+  if (octave >= kLogBuckets) return kNumBuckets - 1;  // overflow
+  return 1 + std::max(0, octave);
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return kMinBound;
+  if (bucket >= kNumBuckets - 1) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return kMinBound * std::exp2(static_cast<double>(bucket));
+}
+
+void Histogram::Observe(double value) {
+  if (!MetricsEnabled()) return;
+  Shard& shard = shards_[CurrentShardIndex()];
+  shard.counts[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(shard.sum, value);
+  AtomicMin(shard.min, value);
+  AtomicMax(shard.max, value);
+}
+
+Histogram::Snapshot Histogram::Scrape() const {
+  Snapshot out;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = shard.counts[b].load(std::memory_order_relaxed);
+      out.buckets[b] += n;
+      out.count += n;
+    }
+    out.sum += shard.sum.load(std::memory_order_relaxed);
+    out.min = std::min(out.min, shard.min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(),
+                    std::memory_order_relaxed);
+  }
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name).Value(static_cast<unsigned long long>(value));
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : gauges) w.Key(name).Value(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, value] : histograms) {
+    w.Key(name);
+    AppendHistogramJson(w, value);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  AppendJson(w);
+  return w.str();
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();  // leaked
+  return *registry;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricRegistry::Scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->Scrape());
+  }
+  return out;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();  // leaked
+  return *tracer;
+}
+
+int64_t Tracer::Begin(const std::string& name, int64_t parent) {
+  if (!enabled()) return -1;
+  const double now = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+  std::vector<int64_t>& stack = SpanStack();
+  int64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = static_cast<int64_t>(events_.size());
+    TraceEvent event;
+    event.id = id;
+    event.parent = parent >= 0 ? parent : (stack.empty() ? -1 : stack.back());
+    event.name = name;
+    event.start_seconds = now;
+    event.duration_seconds = -1.0;  // open
+    events_.push_back(std::move(event));
+  }
+  stack.push_back(id);
+  return id;
+}
+
+void Tracer::End(int64_t id) {
+  if (id < 0) return;
+  const double now = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - epoch_)
+                         .count();
+  std::vector<int64_t>& stack = SpanStack();
+  // Stack discipline: spans end on their own thread in LIFO order; a
+  // Reset() between Begin and End leaves the stack holding stale ids,
+  // which the erase below tolerates.
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (*it == id) {
+      stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id < static_cast<int64_t>(events_.size())) {
+    TraceEvent& event = events_[id];
+    event.duration_seconds = now - event.start_seconds;
+  }
+}
+
+std::vector<TraceEvent> Tracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+void Tracer::AppendJson(JsonWriter& w) const {
+  const std::vector<TraceEvent> events = Events();
+  w.BeginArray();
+  for (const TraceEvent& e : events) {
+    if (e.duration_seconds < 0.0) continue;  // still open
+    w.BeginObject();
+    w.Key("id").Value(static_cast<long>(e.id));
+    w.Key("parent").Value(static_cast<long>(e.parent));
+    w.Key("name").Value(e.name);
+    w.Key("start_s").Value(e.start_seconds);
+    w.Key("duration_s").Value(e.duration_seconds);
+    w.EndObject();
+  }
+  w.EndArray();
+}
+
+std::string Tracer::SummaryTree() const {
+  const std::vector<TraceEvent> events = Events();
+  std::vector<std::vector<int64_t>> children(events.size());
+  std::vector<int64_t> roots;
+  for (const TraceEvent& e : events) {
+    if (e.duration_seconds < 0.0) continue;
+    if (e.parent >= 0 && e.parent < static_cast<int64_t>(events.size())) {
+      children[e.parent].push_back(e.id);
+    } else {
+      roots.push_back(e.id);
+    }
+  }
+  // Children render in start order so the tree reads as a timeline.
+  auto by_start = [&](int64_t a, int64_t b) {
+    return events[a].start_seconds < events[b].start_seconds;
+  };
+  for (auto& c : children) std::sort(c.begin(), c.end(), by_start);
+  std::sort(roots.begin(), roots.end(), by_start);
+
+  constexpr int kMaxChildrenShown = 16;
+  std::string out;
+  auto render = [&](auto&& self, int64_t id, int depth) -> void {
+    const TraceEvent& e = events[id];
+    out += StrFormat("%*s%s  %.3f ms\n", 2 * depth, "", e.name.c_str(),
+                     1e3 * e.duration_seconds);
+    const auto& kids = children[id];
+    const int shown =
+        std::min<int>(kMaxChildrenShown, static_cast<int>(kids.size()));
+    for (int i = 0; i < shown; ++i) self(self, kids[i], depth + 1);
+    if (static_cast<int>(kids.size()) > shown) {
+      double rest = 0.0;
+      for (size_t i = shown; i < kids.size(); ++i) {
+        rest += events[kids[i]].duration_seconds;
+      }
+      out += StrFormat("%*s... %d more spans, %.3f ms\n", 2 * (depth + 1), "",
+                       static_cast<int>(kids.size()) - shown, 1e3 * rest);
+    }
+  };
+  for (int64_t root : roots) render(render, root, 0);
+  return out;
+}
+
+}  // namespace rasa

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/timer.h"
+
 namespace rasa {
 namespace {
 
@@ -22,6 +25,11 @@ int ThreadPool::DefaultNumThreads() {
 }
 
 ThreadPool::ThreadPool(int num_threads) {
+  MetricRegistry& registry = MetricRegistry::Default();
+  tasks_metric_ = &registry.GetCounter("threadpool.tasks_executed");
+  steals_metric_ = &registry.GetCounter("threadpool.steals");
+  queue_depth_metric_ = &registry.GetHistogram("threadpool.queue_depth");
+  idle_metric_ = &registry.GetHistogram("threadpool.idle_seconds");
   const int n = std::max(1, num_threads);
   deques_.reserve(n);
   for (int i = 0; i < n; ++i) deques_.push_back(std::make_unique<WorkDeque>());
@@ -48,11 +56,13 @@ void ThreadPool::Schedule(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(target.mu);
     target.tasks.push_back(std::move(task));
   }
+  long depth;
   {
     std::lock_guard<std::mutex> lock(wake_mu_);
-    ++pending_;
+    depth = ++pending_;
   }
   wake_cv_.notify_one();
+  queue_depth_metric_->Observe(static_cast<double>(depth));
 }
 
 bool ThreadPool::TryAcquireTask(int self, std::function<void()>& out) {
@@ -72,6 +82,7 @@ bool ThreadPool::TryAcquireTask(int self, std::function<void()>& out) {
   };
 
   bool found = false;
+  bool stolen = false;
   // Own deque first (LIFO keeps nested fan-out cache-hot), then external
   // submissions, then steal oldest-first from siblings.
   if (self >= 0 && pop_back(*deques_[self])) found = true;
@@ -81,10 +92,12 @@ bool ThreadPool::TryAcquireTask(int self, std::function<void()>& out) {
     for (int off = 1; off <= n && !found; ++off) {
       const int victim = ((self >= 0 ? self : 0) + off) % n;
       if (victim == self) continue;
-      if (pop_front(*deques_[victim])) found = true;
+      if (pop_front(*deques_[victim])) found = stolen = true;
     }
   }
   if (found) {
+    tasks_metric_->Increment();
+    if (stolen) steals_metric_->Increment();
     std::lock_guard<std::mutex> lock(wake_mu_);
     --pending_;
   }
@@ -100,11 +113,15 @@ void ThreadPool::WorkerLoop(int self) {
       task = nullptr;
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this]() { return stopping_ || pending_ > 0; });
-    // Drain every queued task before honoring shutdown so futures of
-    // already-submitted work never break.
-    if (stopping_ && pending_ == 0) return;
+    const Stopwatch idle_timer;
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this]() { return stopping_ || pending_ > 0; });
+      // Drain every queued task before honoring shutdown so futures of
+      // already-submitted work never break.
+      if (stopping_ && pending_ == 0) return;
+    }
+    idle_metric_->Observe(idle_timer.ElapsedSeconds());
   }
 }
 

@@ -13,6 +13,9 @@
 
 namespace rasa {
 
+class Counter;
+class Histogram;
+
 /// Fixed-size worker pool with per-worker work-stealing deques.
 ///
 /// Tasks submitted from outside the pool land on a shared injection queue;
@@ -73,6 +76,14 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkDeque>> deques_;
   WorkDeque injection_;  // external submissions
   std::vector<std::thread> workers_;
+
+  // Observability (cached registry handles; observation-only, see
+  // common/metrics.h). threadpool.queue_depth samples the pending count at
+  // every Schedule; threadpool.idle_seconds records each worker sleep.
+  Counter* tasks_metric_ = nullptr;
+  Counter* steals_metric_ = nullptr;
+  Histogram* queue_depth_metric_ = nullptr;
+  Histogram* idle_metric_ = nullptr;
 
   // Sleep/wake machinery: pending_ counts queued-but-unstarted tasks.
   std::mutex wake_mu_;

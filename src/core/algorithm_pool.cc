@@ -1,9 +1,32 @@
 #include "core/algorithm_pool.h"
 
+#include "common/metrics.h"
 #include "core/cg.h"
 #include "core/mip_algorithm.h"
 
 namespace rasa {
+namespace {
+
+// Per-algorithm pick/outcome/latency metrics (observation-only; MIP
+// gap/node metrics are recorded next to the solver in mip_algorithm.cc).
+struct PoolMetrics {
+  Counter& picks;
+  Counter& failures;
+  Histogram& seconds;
+};
+
+PoolMetrics& MetricsFor(PoolAlgorithm algorithm) {
+  MetricRegistry& reg = MetricRegistry::Default();
+  static PoolMetrics cg{reg.GetCounter("pool.cg_picks"),
+                        reg.GetCounter("pool.cg_failures"),
+                        reg.GetHistogram("pool.cg_seconds")};
+  static PoolMetrics mip{reg.GetCounter("pool.mip_picks"),
+                         reg.GetCounter("pool.mip_failures"),
+                         reg.GetHistogram("pool.mip_seconds")};
+  return algorithm == PoolAlgorithm::kCg ? cg : mip;
+}
+
+}  // namespace
 
 const char* PoolAlgorithmToString(PoolAlgorithm algorithm) {
   switch (algorithm) {
@@ -22,21 +45,37 @@ StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
                                               const Placement& original,
                                               const Deadline& deadline,
                                               uint64_t seed) {
+  PoolMetrics& metrics = MetricsFor(algorithm);
+  metrics.picks.Increment();
+  Stopwatch timer;
+  StatusOr<SubproblemSolution> result =
+      InvalidArgumentError("unknown pool algorithm");
   switch (algorithm) {
     case PoolAlgorithm::kCg: {
       CgOptions options;
       options.deadline = deadline;
       options.seed = seed;
-      return SolveSubproblemCg(cluster, subproblem, base, original, options);
+      CgStats stats;
+      result = SolveSubproblemCg(cluster, subproblem, base, original, options,
+                                 &stats);
+      MetricRegistry& reg = MetricRegistry::Default();
+      static Histogram& rounds = reg.GetHistogram("pool.cg_rounds");
+      static Histogram& patterns = reg.GetHistogram("pool.cg_patterns");
+      rounds.Observe(static_cast<double>(stats.rounds));
+      patterns.Observe(static_cast<double>(stats.patterns_generated));
+      break;
     }
     case PoolAlgorithm::kMip: {
       MipAlgorithmOptions options;
       options.deadline = deadline;
       options.seed = seed;
-      return SolveSubproblemMip(cluster, subproblem, base, options);
+      result = SolveSubproblemMip(cluster, subproblem, base, options);
+      break;
     }
   }
-  return InvalidArgumentError("unknown pool algorithm");
+  metrics.seconds.Observe(timer.ElapsedSeconds());
+  if (!result.ok()) metrics.failures.Increment();
+  return result;
 }
 
 }  // namespace rasa

@@ -32,6 +32,14 @@ int DeficitOn(const Placement& current, const Placement& target, int machine,
 
 }  // namespace
 
+int MinAliveFloor(int demand, double min_alive_fraction) {
+  if (demand <= 0) return 0;
+  const int requested =
+      static_cast<int>(std::ceil(min_alive_fraction * demand));
+  // Guaranteed-progress carve-out: one container may always be offline.
+  return std::max(0, std::min(demand - 1, requested));
+}
+
 StatusOr<MigrationPlan> ComputeMigrationPath(const Cluster& cluster,
                                              const Placement& original,
                                              const Placement& target,
@@ -58,13 +66,11 @@ StatusOr<MigrationPlan> ComputeMigrationPath(const Cluster& cluster,
     pending_creates[s] = deficit;
   }
 
-  // SLA floor. For small services ceil(0.75 d) equals d, which would forbid
-  // any movement; like a rolling update, at least one container may always
-  // be offline.
+  // SLA floor (shared with validator and executor; see MinAliveFloor for
+  // the small-service carve-out).
   auto min_alive = [&](int s) {
-    const int d = cluster.service(s).demand;
-    return std::min(d - 1, static_cast<int>(
-                               std::ceil(options.min_alive_fraction * d)));
+    return MinAliveFloor(cluster.service(s).demand,
+                         options.min_alive_fraction);
   };
   auto alive = [&](int s) { return current.TotalOf(s); };
 
@@ -215,9 +221,8 @@ Status ValidateMigrationPlan(const Cluster& cluster, const Placement& original,
     const bool last = batch_index + 1 == plan.batches.size();
     if (!last || plan.stranded_deletes == 0) {
       for (int s = 0; s < cluster.num_services(); ++s) {
-        const int d = cluster.service(s).demand;
-        const int floor_alive = std::min(
-            d - 1, static_cast<int>(std::ceil(min_alive_fraction * d)));
+        const int floor_alive =
+            MinAliveFloor(cluster.service(s).demand, min_alive_fraction);
         if (current.TotalOf(s) < floor_alive) {
           return FailedPreconditionError(StrFormat(
               "batch %zu: service %d down to %d/%d alive", batch_index, s,

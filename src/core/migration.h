@@ -42,6 +42,18 @@ struct MigrationOptions {
   int max_iterations = 1 << 20;
 };
 
+/// The SLA floor enforced between migration batches: the minimum number of
+/// containers of a service with `demand` replicas that must stay alive
+/// while migrating under `min_alive_fraction`.
+///
+/// The naive floor ceil(fraction * demand) forbids any migration for small
+/// services — ceil(0.75 * d) == d for every d <= 4 — so the floor carries
+/// an explicit guaranteed-progress carve-out: like a rolling update, at
+/// least one container may always be offline (floor <= demand - 1; never
+/// negative). Planner, validator, and executor all share this single
+/// definition.
+int MinAliveFloor(int demand, double min_alive_fraction);
+
 /// Computes a migration path from `original` to `target` with Algorithm 2:
 /// per iteration, each machine deletes the to-be-migrated container whose
 /// service has the lowest offline ratio (if SLA allows), then each machine

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace rasa {
@@ -22,11 +24,10 @@ Status PlacementActions::Create(int machine, int service) {
 
 namespace {
 
-// Same rolling-update floor as the planner: small services may always have
-// one container offline.
+// Same rolling-update floor as the planner and validator (MinAliveFloor in
+// core/migration.h): small services may always have one container offline.
 int FloorAlive(const Cluster& cluster, int service, double fraction) {
-  const int d = cluster.service(service).demand;
-  return std::min(d - 1, static_cast<int>(std::ceil(fraction * d)));
+  return MinAliveFloor(cluster.service(service).demand, fraction);
 }
 
 // Re-binds `src` counts to a placement over `cluster` (the target usually
@@ -47,17 +48,26 @@ int SymmetricDiff(const Placement& a, const Placement& b) {
 }
 
 // Post-batch audit: resource/anti-affinity feasibility plus the SLA floor
-// against the actually-reached state.
+// against the actually-reached state. Also records the batch's SLA
+// headroom — the smallest (alive - floor) across services — which is the
+// early-warning signal a production operator alerts on.
 void AuditPartialStep(const Cluster& cluster, const Placement& live,
                       double min_alive_fraction,
                       MigrationExecutionReport& report) {
   if (!live.CheckFeasible(/*check_sla=*/false).ok()) {
     ++report.feasibility_violations;
   }
+  int min_headroom = std::numeric_limits<int>::max();
   for (int s = 0; s < cluster.num_services(); ++s) {
-    if (live.TotalOf(s) < FloorAlive(cluster, s, min_alive_fraction)) {
-      ++report.sla_violations;
-    }
+    const int headroom =
+        live.TotalOf(s) - FloorAlive(cluster, s, min_alive_fraction);
+    min_headroom = std::min(min_headroom, headroom);
+    if (headroom < 0) ++report.sla_violations;
+  }
+  if (min_headroom != std::numeric_limits<int>::max()) {
+    static Histogram& headroom_metric =
+        MetricRegistry::Default().GetHistogram("migration.sla_headroom");
+    headroom_metric.Observe(static_cast<double>(min_headroom));
   }
 }
 
@@ -218,7 +228,11 @@ void ExecutePass(const Cluster& cluster, Placement& live,
                  const MigrationPlan& plan, ClusterActions& actions,
                  const MigrationExecutorOptions& options, Rng& rng,
                  MigrationExecutionReport& report) {
+  static Histogram& batch_size_metric =
+      MetricRegistry::Default().GetHistogram("migration.batch_commands");
   for (const std::vector<MigrationCommand>& batch : plan.batches) {
+    TraceSpan batch_span("migration_batch");
+    batch_size_metric.Observe(static_cast<double>(batch.size()));
     bool incomplete = false;
     for (const MigrationCommand& cmd : batch) {
       if (options.deadline.Expired()) return;
@@ -316,6 +330,32 @@ MigrationExecutionReport ExecuteMigration(const Cluster& cluster,
     }
   }
   report.residual_diff = SymmetricDiff(live, desired);
+
+  // Run-level executor metrics (observation-only; per-batch sizes and SLA
+  // headroom are recorded inline above).
+  {
+    MetricRegistry& reg = MetricRegistry::Default();
+    static Counter& runs = reg.GetCounter("migration.runs");
+    static Counter& batches = reg.GetCounter("migration.batches");
+    static Counter& attempted = reg.GetCounter("migration.commands_attempted");
+    static Counter& succeeded = reg.GetCounter("migration.commands_succeeded");
+    static Counter& failed = reg.GetCounter("migration.commands_failed");
+    static Counter& deferred = reg.GetCounter("migration.commands_deferred");
+    static Counter& retries = reg.GetCounter("migration.retries");
+    static Counter& replans = reg.GetCounter("migration.replans");
+    static Counter& sla_violations = reg.GetCounter("migration.sla_violations");
+    static Counter& partial = reg.GetCounter("migration.partial_executions");
+    runs.Increment();
+    batches.Increment(static_cast<uint64_t>(report.batches_executed));
+    attempted.Increment(static_cast<uint64_t>(report.commands_attempted));
+    succeeded.Increment(static_cast<uint64_t>(report.commands_succeeded));
+    failed.Increment(static_cast<uint64_t>(report.commands_failed));
+    deferred.Increment(static_cast<uint64_t>(report.commands_deferred));
+    retries.Increment(static_cast<uint64_t>(report.retries));
+    replans.Increment(static_cast<uint64_t>(report.replans));
+    sla_violations.Increment(static_cast<uint64_t>(report.sla_violations));
+    if (!report.reached_target) partial.Increment();
+  }
   return report;
 }
 

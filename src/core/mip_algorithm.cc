@@ -6,11 +6,28 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "core/greedy.h"
 #include "mip/solver.h"
 
 namespace rasa {
+namespace {
+
+// Solver-quality metrics of one subproblem MIP solve (observation-only).
+void RecordMipMetrics(const MipResult& result) {
+  MetricRegistry& reg = MetricRegistry::Default();
+  static Counter& solves = reg.GetCounter("pool.mip_solves");
+  static Histogram& gap = reg.GetHistogram("pool.mip_gap");
+  static Histogram& nodes = reg.GetHistogram("pool.mip_nodes");
+  static Histogram& iterations = reg.GetHistogram("pool.mip_lp_iterations");
+  solves.Increment();
+  if (result.has_solution()) gap.Observe(result.Gap());
+  nodes.Observe(static_cast<double>(result.nodes_explored));
+  iterations.Observe(static_cast<double>(result.lp_iterations));
+}
+
+}  // namespace
 
 StatusOr<SubproblemMip> BuildSubproblemMip(const Cluster& cluster,
                                            const Subproblem& subproblem,
@@ -254,6 +271,7 @@ StatusOr<SubproblemSolution> SolveSubproblemMipGrouped(
   mip_options.deadline = options.deadline;
   mip_options.relative_gap = options.relative_gap;
   MipResult mip = SolveMip(model, mip_options);
+  RecordMipMetrics(mip);
   if (!mip.has_solution()) {
     Placement scratch = base;
     return GreedyAffinityPlace(cluster, subproblem, scratch);
@@ -374,6 +392,7 @@ StatusOr<SubproblemSolution> SolveSubproblemMip(
   mip_options.relative_gap = options.relative_gap;
   mip_options.initial_solution = warm;
   MipResult result = SolveMip(mip.model, mip_options);
+  RecordMipMetrics(result);
 
   if (!result.has_solution()) {
     // Infeasible should not happen (x = 0 is feasible); fall back to greedy.

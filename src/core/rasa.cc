@@ -9,6 +9,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -118,13 +119,16 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
                                              ThreadPool* pool) const {
   Stopwatch timer;
   const Deadline deadline = Deadline::AfterSeconds(options_.timeout_seconds);
+  TraceSpan optimize_span("optimize");
 
   RasaResult result;
   result.original_gained_affinity = GainedAffinity(cluster, current);
 
   // Phase 1: service partitioning + machine assignment.
-  PartitionResult partition =
-      PartitionServices(cluster, current, options_.partitioning);
+  PartitionResult partition = [&] {
+    TraceSpan span("partition");
+    return PartitionServices(cluster, current, options_.partitioning);
+  }();
   result.partition_stats = partition.stats;
   const int num_subproblems = static_cast<int>(partition.subproblems.size());
 
@@ -158,8 +162,10 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
 
   // Phase 2a: batch algorithm selection (parallel GCN inference; pure, so
   // scheduling cannot change the labels).
-  const std::vector<PoolAlgorithm> selected =
-      selector_.SelectBatch(cluster, partition.subproblems, pool);
+  const std::vector<PoolAlgorithm> selected = [&] {
+    TraceSpan span("select");
+    return selector_.SelectBatch(cluster, partition.subproblems, pool);
+  }();
 
   // Phase 2b: speculative per-subproblem solves, fanned out across the
   // pool. Shared state is confined to the deadline ledger and the advisory
@@ -193,10 +199,17 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         1, std::memory_order_release);
   };
 
+  // The solve phase is opened/closed by hand (no scope to hang the RAII
+  // span on); its id is the explicit parent of every per-subproblem span,
+  // because workers run on pool threads whose thread-local span stacks are
+  // empty.
+  const int64_t solve_parent = Tracer::Default().Begin("solve");
+
   auto solve_one = [&](int position) {
     const int idx = order[position];
     const Subproblem& sp = partition.subproblems[idx];
     SolveRecord& rec = records[position];
+    TraceSpan sp_span(StrFormat("subproblem_%d", idx), solve_parent);
     Stopwatch sp_timer;
 
     // Per-subproblem RNG stream; both attempt seeds are drawn up front so
@@ -255,6 +268,8 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
       solve_one(position);
     }
   }
+  Tracer::Default().End(solve_parent);
+  const int64_t merge_id = Tracer::Default().Begin("merge");
 
   // Phase 2c: merge in canonical order. The degradation ladder, breaker,
   // and counters are *replayed* here single-threaded, so the merged
@@ -385,18 +400,23 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     }
     result.subproblems.push_back(report);
   }
+  Tracer::Default().End(merge_id);
 
   // Combine: default-scheduler fallback for unplaced crucial containers.
-  for (int s = 0; s < cluster.num_services(); ++s) {
-    for (int c = 0; c < unplaced[s]; ++c) {
-      if (FallbackPlaceOne(cluster, working, s) < 0) {
-        ++result.lost_containers;
+  {
+    const TraceSpan fallback_span("fallback");
+    for (int s = 0; s < cluster.num_services(); ++s) {
+      for (int c = 0; c < unplaced[s]; ++c) {
+        if (FallbackPlaceOne(cluster, working, s) < 0) {
+          ++result.lost_containers;
+        }
       }
     }
   }
 
   // Optional extension: local-search refinement with the leftover budget.
   if (options_.refine_with_local_search && !deadline.Expired()) {
+    const TraceSpan ls_span("local_search");
     LocalSearchOptions ls;
     ls.deadline = deadline;
     // Own stream, independent of how many solver seeds were drawn.
@@ -415,6 +435,7 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
 
   // Phase 3: migration path.
   if (options_.compute_migration && result.should_execute) {
+    const TraceSpan migration_span("migration_path");
     StatusOr<MigrationPlan> plan =
         ComputeMigrationPath(cluster, current, working, options_.migration);
     if (plan.ok()) {
@@ -429,6 +450,38 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
 
   result.new_placement = std::move(working);
   result.elapsed_seconds = timer.ElapsedSeconds();
+
+  // Observation-only run metrics mirroring the RasaResult ladder counters;
+  // nothing below feeds back into the placement.
+  {
+    MetricRegistry& reg = MetricRegistry::Default();
+    static Counter& runs = reg.GetCounter("rasa.runs");
+    static Counter& dry_runs = reg.GetCounter("rasa.dry_runs");
+    static Counter& solver_failures = reg.GetCounter("rasa.solver_failures");
+    static Counter& secondary = reg.GetCounter("rasa.secondary_successes");
+    static Counter& greedy = reg.GetCounter("rasa.greedy_fallbacks");
+    static Counter& breaker = reg.GetCounter("rasa.breaker_skips");
+    static Counter& lost = reg.GetCounter("rasa.lost_containers");
+    static Counter& moved = reg.GetCounter("rasa.moved_containers");
+    static Histogram& sp_seconds = reg.GetHistogram("rasa.subproblem_seconds");
+    static Histogram& opt_seconds = reg.GetHistogram("rasa.optimize_seconds");
+    static Gauge& improvement_gauge = reg.GetGauge("rasa.improvement");
+    static Gauge& gained_gauge = reg.GetGauge("rasa.gained_affinity");
+    runs.Increment();
+    if (!result.should_execute) dry_runs.Increment();
+    solver_failures.Increment(static_cast<uint64_t>(result.solver_failures));
+    secondary.Increment(static_cast<uint64_t>(result.secondary_successes));
+    greedy.Increment(static_cast<uint64_t>(result.greedy_fallbacks));
+    breaker.Increment(static_cast<uint64_t>(result.breaker_skips));
+    lost.Increment(static_cast<uint64_t>(result.lost_containers));
+    moved.Increment(static_cast<uint64_t>(result.moved_containers));
+    for (const SubproblemReport& report : result.subproblems) {
+      sp_seconds.Observe(report.seconds);
+    }
+    opt_seconds.Observe(result.elapsed_seconds);
+    improvement_gauge.Set(improvement);
+    gained_gauge.Set(result.new_gained_affinity);
+  }
   return result;
 }
 

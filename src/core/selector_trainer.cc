@@ -1,6 +1,8 @@
 #include "core/selector_trainer.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 
 #include "cluster/generator.h"
 #include "common/logging.h"
@@ -104,6 +106,20 @@ TrainedSelectors TrainSelectors(const SelectorDataset& dataset,
   out.gcn_train_accuracy = out.gcn.Accuracy(graphs, labels);
   out.mlp_train_accuracy = out.mlp.Accuracy(means, labels);
   return out;
+}
+
+std::string ResolveSelectorCachePrefix(const std::string& explicit_prefix) {
+  if (!explicit_prefix.empty()) return explicit_prefix;
+  const char* env = std::getenv("RASA_SELECTOR_CACHE");
+  if (env != nullptr && env[0] != '\0') return env;
+  std::error_code ec;
+  std::filesystem::create_directories(".rasa_cache", ec);
+  if (ec) {
+    RASA_LOG(Warning) << "cannot create .rasa_cache/ (" << ec.message()
+                      << "); caching selector weights in the working dir";
+    return "rasa_selector_cache";
+  }
+  return ".rasa_cache/rasa_selector_cache";
 }
 
 StatusOr<TrainedSelectors> GetOrTrainSelectors(

@@ -61,6 +61,16 @@ struct TrainedSelectors {
 TrainedSelectors TrainSelectors(const SelectorDataset& dataset,
                                 const SelectorTrainingOptions& options);
 
+/// Resolves the on-disk prefix for the trained-selector cache files
+/// (`<prefix>.gcn` / `<prefix>.mlp`). Resolution order:
+///   1. `explicit_prefix` (a `--selector-cache` flag), verbatim;
+///   2. the `RASA_SELECTOR_CACHE` environment variable, verbatim;
+///   3. `.rasa_cache/rasa_selector_cache` under the current working
+///      directory (the directory is created if missing).
+/// The default keeps model artifacts out of the repo root even when a
+/// binary runs from the source tree: `.rasa_cache/` is gitignored.
+std::string ResolveSelectorCachePrefix(const std::string& explicit_prefix = "");
+
 /// Loads a cached GCN from `cache_path` if present; otherwise generates a
 /// dataset, trains, saves to the cache, and returns the result. Benches use
 /// this so a single training pass is shared across runs.

@@ -495,7 +495,10 @@ LpResult Simplex::Solve() {
       result.status = LpStatus::kError;
       return result;
     }
-    if (PhaseOneInfeasibility() > 1e-6) {
+    // Same tolerance as the phase-1 entry check above: a hardcoded
+    // constant here would ignore caller-tightened tolerances and reject
+    // feasible-within-tolerance problems under loosened ones.
+    if (PhaseOneInfeasibility() > options_.tolerance) {
       result.status = LpStatus::kInfeasible;
       result.iterations = iterations_;
       return result;

@@ -5,7 +5,9 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/migration.h"
@@ -113,6 +115,7 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
   }
 
   for (int cycle = 0; cycle < options.cycles; ++cycle) {
+    const TraceSpan cycle_span(StrFormat("cycle_%d", cycle));
     Stopwatch timer;
     CycleReport cr;
     cr.affinity_before = GainedAffinity(cluster, live);
@@ -242,7 +245,10 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
 
     cr.affinity_after = GainedAffinity(cluster, live);
     cr.seconds = timer.ElapsedSeconds();
-    report.cycles.push_back(cr);
+    if (MetricsEnabled()) {
+      cr.metrics = MetricRegistry::Default().Scrape();
+    }
+    report.cycles.push_back(std::move(cr));
 
     // 4) Cluster drift before the next cycle; cooldowns and cordons tick.
     DriftPlacement(cluster, live, options.drift_fraction, rng);

@@ -6,6 +6,7 @@
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
+#include "common/metrics.h"
 #include "common/retry.h"
 #include "common/statusor.h"
 #include "core/rasa.h"
@@ -77,6 +78,10 @@ struct CycleReport {
   int command_retries = 0;
   int replans = 0;
   double seconds = 0.0;
+  /// Scrape of the default metric registry taken at the end of the cycle
+  /// (cumulative since process start — diff consecutive cycles for
+  /// per-cycle deltas). Empty when metrics are disabled.
+  MetricsSnapshot metrics;
 };
 
 struct WorkflowReport {

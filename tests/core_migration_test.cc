@@ -190,5 +190,80 @@ TEST_P(MigrationPropertyTest, RandomReshuffleValidates) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MigrationPropertyTest, ::testing::Range(0, 8));
 
+// ------------------------------------------------------ MinAliveFloor ----
+
+// The shared SLA floor: ceil(fraction * demand) with the guaranteed-
+// progress carve-out (at most demand - 1, never negative) that keeps small
+// services migratable — the naive ceil equals d for every d <= 4 at the
+// paper's 0.75.
+TEST(MinAliveFloorTest, ExplicitValuesForSmallDemands) {
+  EXPECT_EQ(MinAliveFloor(0, 0.75), 0);
+
+  EXPECT_EQ(MinAliveFloor(1, 0.5), 0);
+  EXPECT_EQ(MinAliveFloor(1, 0.75), 0);
+  EXPECT_EQ(MinAliveFloor(1, 1.0), 0);
+
+  EXPECT_EQ(MinAliveFloor(2, 0.5), 1);
+  EXPECT_EQ(MinAliveFloor(2, 0.75), 1);  // ceil(1.5) = 2, capped to d-1
+  EXPECT_EQ(MinAliveFloor(2, 1.0), 1);
+
+  EXPECT_EQ(MinAliveFloor(3, 0.5), 2);   // ceil(1.5) = 2
+  EXPECT_EQ(MinAliveFloor(3, 0.75), 2);  // ceil(2.25) = 3, capped
+  EXPECT_EQ(MinAliveFloor(3, 1.0), 2);
+
+  EXPECT_EQ(MinAliveFloor(4, 0.5), 2);
+  EXPECT_EQ(MinAliveFloor(4, 0.75), 3);
+  EXPECT_EQ(MinAliveFloor(4, 1.0), 3);
+
+  // Large demands: the cap no longer binds.
+  EXPECT_EQ(MinAliveFloor(8, 0.75), 6);
+  EXPECT_EQ(MinAliveFloor(100, 0.75), 75);
+}
+
+// Full d x fraction matrix: a small service moving across machines always
+// gets a plan (the carve-out guarantees progress), and replaying it batch
+// by batch never dips below the floor — including mid-batch, after the
+// deletes and before the creates.
+TEST(MinAliveFloorTest, EmittedBatchesRespectTheFloor) {
+  for (int d : {1, 2, 3, 4}) {
+    for (double fraction : {0.5, 0.75, 1.0}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "demand " << d << ", fraction " << fraction);
+      auto cluster = ClusterBuilder()
+                         .AddService(d, {1.0})
+                         .AddMachine({static_cast<double>(d)})
+                         .AddMachine({static_cast<double>(d)})
+                         .Build();
+      Placement from(*cluster);
+      from.Add(0, 0, d);
+      Placement to(*cluster);
+      to.Add(1, 0, d);
+
+      MigrationOptions options;
+      options.min_alive_fraction = fraction;
+      StatusOr<MigrationPlan> plan =
+          ComputeMigrationPath(*cluster, from, to, options);
+      ASSERT_TRUE(plan.ok()) << plan.status();
+      EXPECT_TRUE(
+          ValidateMigrationPlan(*cluster, from, to, *plan, fraction).ok());
+
+      const int floor_alive = MinAliveFloor(d, fraction);
+      int alive = d;
+      for (size_t b = 0; b < plan->batches.size(); ++b) {
+        int deletes = 0;
+        int creates = 0;
+        for (const MigrationCommand& cmd : plan->batches[b]) {
+          (cmd.type == MigrationCommandType::kDelete ? deletes : creates)++;
+        }
+        // Worst point of the batch: deletes applied, creates not yet.
+        EXPECT_GE(alive - deletes, floor_alive) << "mid-batch " << b;
+        alive += creates - deletes;
+        EXPECT_GE(alive, floor_alive) << "after batch " << b;
+      }
+      EXPECT_EQ(alive, d);  // the full deployment arrives
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rasa

@@ -129,6 +129,25 @@ TEST(SimplexTest, DetectsInfeasibleEqualitySystem) {
   EXPECT_EQ(SolveLp(m).status, LpStatus::kInfeasible);
 }
 
+// Regression: the post-phase-1 feasibility re-check used a hardcoded 1e-6
+// while the entry check honored options.tolerance, so a caller-loosened
+// tolerance was ignored — a system infeasible by 5e-4 must count as
+// feasible at tolerance 1e-2 (and stay infeasible at the 1e-7 default).
+TEST(SimplexTest, PhaseOneRecheckHonorsNonDefaultTolerance) {
+  LpModel m;
+  int x = m.AddVariable(0, kLpInfinity, 1.0);
+  m.AddConstraint(ConstraintType::kEqual, 1.0, {{x, 1.0}});
+  m.AddConstraint(ConstraintType::kEqual, 1.0005, {{x, 1.0}});
+
+  EXPECT_EQ(SolveLp(m).status, LpStatus::kInfeasible);
+
+  LpOptions loose;
+  loose.tolerance = 1e-2;
+  const LpResult r = SolveLp(m, loose);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.primal[x], 1.0, 1e-2);
+}
+
 TEST(SimplexTest, DetectsUnbounded) {
   LpModel m;
   m.SetObjectiveSense(ObjectiveSense::kMaximize);

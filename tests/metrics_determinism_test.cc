@@ -1,0 +1,163 @@
+// The observation-only contract of the metrics layer: the optimizer's
+// output is bit-identical with metrics (and tracing) on or off, at every
+// thread count — instrumentation may watch the hot path but never steer it.
+// Also covers the end-to-end export: a workflow run with an executing cycle
+// populates all five instrumented subsystems (rasa., partition., pool.,
+// threadpool., migration.) and snapshots them once per cycle.
+
+#include <string>
+#include <vector>
+
+#include "cluster/generator.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "core/rasa.h"
+#include "gtest/gtest.h"
+#include "sim/workflow.h"
+
+namespace rasa {
+namespace {
+
+ClusterSnapshot MakeCluster(uint64_t seed) {
+  ClusterSpec spec = M1Spec(48.0);
+  spec.seed = seed;
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+  RASA_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  return std::move(snapshot).value();
+}
+
+RasaResult RunOptimize(const ClusterSnapshot& snapshot, int threads) {
+  RasaOptions options;
+  // Generous budget + small subproblems: no solve is ever cut off
+  // mid-flight, so the comparison never races the wall clock (same regime
+  // as core_rasa_determinism_test).
+  options.timeout_seconds = 30.0;
+  options.seed = 1234;
+  options.num_threads = threads;
+  options.partitioning.max_subproblem_services = 12;
+  RasaOptimizer optimizer(options,
+                          AlgorithmSelector(SelectorPolicy::kHeuristic));
+  StatusOr<RasaResult> result =
+      optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+// Bit-exact equality of everything except wall-clock timings.
+void ExpectIdenticalResults(const RasaResult& a, const RasaResult& b) {
+  EXPECT_EQ(a.new_placement.DiffCount(b.new_placement), 0);
+  EXPECT_EQ(b.new_placement.DiffCount(a.new_placement), 0);
+  EXPECT_EQ(a.new_gained_affinity, b.new_gained_affinity);
+  EXPECT_EQ(a.original_gained_affinity, b.original_gained_affinity);
+  EXPECT_EQ(a.should_execute, b.should_execute);
+  EXPECT_EQ(a.moved_containers, b.moved_containers);
+  EXPECT_EQ(a.lost_containers, b.lost_containers);
+  EXPECT_EQ(a.solver_failures, b.solver_failures);
+  EXPECT_EQ(a.secondary_successes, b.secondary_successes);
+  EXPECT_EQ(a.greedy_fallbacks, b.greedy_fallbacks);
+  EXPECT_EQ(a.breaker_skips, b.breaker_skips);
+  EXPECT_EQ(a.migration.batches.size(), b.migration.batches.size());
+  ASSERT_EQ(a.subproblems.size(), b.subproblems.size());
+  for (size_t i = 0; i < a.subproblems.size(); ++i) {
+    EXPECT_EQ(a.subproblems[i].algorithm, b.subproblems[i].algorithm);
+    EXPECT_EQ(a.subproblems[i].gained_affinity,
+              b.subproblems[i].gained_affinity);
+    EXPECT_EQ(a.subproblems[i].failed, b.subproblems[i].failed);
+    EXPECT_EQ(a.subproblems[i].used_secondary,
+              b.subproblems[i].used_secondary);
+  }
+}
+
+TEST(MetricsDeterminismTest, MetricsOnOffBitIdenticalAcrossThreadCounts) {
+  const ClusterSnapshot snapshot = MakeCluster(17);
+  for (int threads : {1, 4, 8}) {
+    SCOPED_TRACE(::testing::Message() << threads << " threads");
+
+    ASSERT_TRUE(MetricsEnabled());
+    Tracer::Default().Enable(true);  // tracing must not perturb either
+    const RasaResult with_metrics = RunOptimize(snapshot, threads);
+    Tracer::Default().Enable(false);
+    Tracer::Default().Reset();
+
+    SetMetricsEnabled(false);
+    const RasaResult without_metrics = RunOptimize(snapshot, threads);
+    SetMetricsEnabled(true);
+
+    ExpectIdenticalResults(with_metrics, without_metrics);
+  }
+}
+
+TEST(MetricsDeterminismTest, DisabledRunRecordsNothing) {
+  const ClusterSnapshot snapshot = MakeCluster(23);
+  MetricRegistry& reg = MetricRegistry::Default();
+  reg.Reset();
+  SetMetricsEnabled(false);
+  (void)RunOptimize(snapshot, 2);
+  SetMetricsEnabled(true);
+  const MetricsSnapshot snap = reg.Scrape();
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+  for (const auto& [name, histogram] : snap.histograms) {
+    EXPECT_EQ(histogram.count, 0u) << name;
+  }
+}
+
+// One workflow run with executing cycles must light up every instrumented
+// subsystem and attach a registry snapshot to every cycle report.
+TEST(MetricsDeterminismTest, WorkflowCoversAllFiveSubsystems) {
+  const ClusterSnapshot snapshot = MakeCluster(31);
+  MetricRegistry::Default().Reset();
+
+  WorkflowOptions options;
+  options.cycles = 2;
+  options.rasa.timeout_seconds = 10.0;
+  // >= 2 threads so the thread pool's steal/queue metrics are exercised by
+  // a real worker pool.
+  options.rasa.num_threads = 4;
+  options.seed = 7;
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot.cluster, snapshot.original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_GT(report->executions, 0);  // migration metrics need a real run
+
+  const MetricsSnapshot snap = MetricRegistry::Default().Scrape();
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter not registered: " << name;
+    return 0;
+  };
+  EXPECT_GT(counter("rasa.runs"), 0u);
+  EXPECT_GT(counter("partition.runs"), 0u);
+  EXPECT_GT(counter("pool.cg_picks") + counter("pool.mip_picks"), 0u);
+  EXPECT_GT(counter("threadpool.tasks_executed"), 0u);
+  EXPECT_GT(counter("migration.runs"), 0u);
+
+  // Per-cycle snapshots are cumulative scrapes: present on every cycle and
+  // monotone in the event counters.
+  ASSERT_EQ(report->cycles.size(), 2u);
+  uint64_t previous_runs = 0;
+  for (const CycleReport& cr : report->cycles) {
+    EXPECT_FALSE(cr.metrics.counters.empty());
+    uint64_t runs = 0;
+    for (const auto& [n, v] : cr.metrics.counters) {
+      if (n == "rasa.runs") runs = v;
+    }
+    EXPECT_GT(runs, previous_runs);
+    previous_runs = runs;
+  }
+
+  // The machine-readable export mentions all five subsystem prefixes.
+  const std::string json = snap.ToJson();
+  for (const char* prefix :
+       {"\"rasa.", "\"partition.", "\"pool.", "\"threadpool.",
+        "\"migration."}) {
+    EXPECT_NE(json.find(prefix), std::string::npos) << prefix;
+  }
+}
+
+}  // namespace
+}  // namespace rasa
