@@ -1,0 +1,383 @@
+#ifndef RASA_BENCH_BENCH_COMPARE_LIB_H_
+#define RASA_BENCH_BENCH_COMPARE_LIB_H_
+
+// Comparison of two BENCH_<name>.json result files (the flat
+// array-of-objects format emitted by BenchJsonWriter). Header-only and
+// dependency-free (std only) so both the bench_compare tool and its unit
+// test can use it without dragging in the solver libraries.
+//
+// Rows are matched across the two files by their *identity*: every
+// string-valued field plus the integer axis fields in kAxisKeys (e.g.
+// "threads"), rendered as "key=value" and joined with "|". The remaining
+// numeric fields are classified by key name into lower-is-better (timings,
+// failure counts) and higher-is-better (quality) metrics; a metric that
+// moved in the bad direction by more than the relative tolerance (default
+// 10%) is a regression. Unclassified numeric fields are informational and
+// never flagged.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rasa::bench {
+
+struct BenchValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+};
+
+/// One flat JSON object, in file order (BenchJsonWriter never nests).
+using BenchRow = std::vector<std::pair<std::string, BenchValue>>;
+
+namespace compare_internal {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Parse(std::vector<BenchRow>* rows) {
+    SkipSpace();
+    if (!Consume('[')) return Fail("expected '[' at top level");
+    SkipSpace();
+    if (Consume(']')) return true;
+    while (true) {
+      BenchRow row;
+      if (!ParseObject(&row)) return false;
+      rows->push_back(std::move(row));
+      SkipSpace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']' after object");
+      SkipSpace();
+    }
+  }
+
+ private:
+  bool ParseObject(BenchRow* row) {
+    if (!Consume('{')) return Fail("expected '{'");
+    SkipSpace();
+    if (Consume('}')) return true;
+    while (true) {
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (!Consume(':')) return Fail("expected ':' after key");
+      SkipSpace();
+      BenchValue value;
+      if (!ParseValue(&value)) return false;
+      row->emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}' in object");
+      SkipSpace();
+    }
+  }
+
+  bool ParseValue(BenchValue* value) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '"') {
+      value->kind = BenchValue::Kind::kString;
+      return ParseString(&value->str);
+    }
+    if (c == 't' || c == 'f') {
+      value->kind = BenchValue::Kind::kBool;
+      value->boolean = c == 't';
+      return ConsumeWord(c == 't' ? "true" : "false");
+    }
+    if (c == 'n') {
+      value->kind = BenchValue::Kind::kNull;
+      return ConsumeWord("null");
+    }
+    // Number: strtod accepts exactly the %.17g forms BenchJsonWriter emits
+    // (including "inf"/"nan" never appearing — those are written as null).
+    char* end = nullptr;
+    const double v = std::strtod(text_.c_str() + pos_, &end);
+    if (end == text_.c_str() + pos_) return Fail("expected a JSON value");
+    value->kind = BenchValue::Kind::kNumber;
+    value->num = v;
+    pos_ = static_cast<size_t>(end - text_.c_str());
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("bad hex digit in \\u escape");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default: return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool ConsumeWord(const char* word) {
+    const size_t n = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, n, word) != 0) return Fail("bad literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const char* message) {
+    if (error_ != nullptr) {
+      *error_ = std::string(message) + " (at byte " + std::to_string(pos_) +
+                " of " + std::to_string(text_.size()) + ")";
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+inline bool KeyContains(const std::string& key, const char* needle) {
+  return key.find(needle) != std::string::npos;
+}
+
+}  // namespace compare_internal
+
+/// Parses one BENCH_<name>.json payload. Returns false and sets `error`
+/// (when non-null) on malformed input.
+inline bool ParseBenchJson(const std::string& text, std::vector<BenchRow>* rows,
+                           std::string* error = nullptr) {
+  compare_internal::Parser parser(text, error);
+  return parser.Parse(rows);
+}
+
+/// Integer-valued fields that are part of a row's identity rather than a
+/// measurement (the x-axis of the bench, not its y-axis).
+inline bool IsAxisKey(const std::string& key) {
+  static const char* const kAxisKeys[] = {
+      "threads", "cycle",   "cycles", "scale", "size",
+      "machines", "services", "containers", "seed", "index",
+  };
+  for (const char* axis : kAxisKeys) {
+    if (key == axis) return true;
+  }
+  return false;
+}
+
+/// A larger value is a regression: wall times and failure tallies.
+inline bool IsLowerBetter(const std::string& key) {
+  using compare_internal::KeyContains;
+  return KeyContains(key, "seconds") || KeyContains(key, "time") ||
+         KeyContains(key, "latency") || KeyContains(key, "truncation") ||
+         KeyContains(key, "failed") || KeyContains(key, "violations") ||
+         KeyContains(key, "retries") || KeyContains(key, "replans") ||
+         KeyContains(key, "unplaced") || KeyContains(key, "gap");
+}
+
+/// A smaller value is a regression: quality and throughput measures.
+inline bool IsHigherBetter(const std::string& key) {
+  using compare_internal::KeyContains;
+  return KeyContains(key, "speedup") || KeyContains(key, "affinity") ||
+         KeyContains(key, "ratio") || KeyContains(key, "throughput") ||
+         KeyContains(key, "improvement");
+}
+
+/// The match key of a row: string fields plus integer axis fields, in file
+/// order. Two rows with the same identity are compared metric by metric.
+inline std::string RowIdentity(const BenchRow& row) {
+  std::string id;
+  for (const auto& [key, value] : row) {
+    const bool is_string = value.kind == BenchValue::Kind::kString;
+    const bool is_axis =
+        value.kind == BenchValue::Kind::kNumber && IsAxisKey(key);
+    if (!is_string && !is_axis) continue;
+    if (!id.empty()) id += "|";
+    id += key + "=";
+    if (is_string) {
+      id += value.str;
+    } else {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%g", value.num);
+      id += buffer;
+    }
+  }
+  return id.empty() ? "<row>" : id;
+}
+
+struct CompareOptions {
+  /// Relative move in the bad direction above which a metric regresses.
+  double tolerance = 0.10;
+  /// Absolute moves at or below this are never regressions (guards the
+  /// relative test against zero baselines and float noise).
+  double absolute_floor = 1e-9;
+};
+
+struct MetricDelta {
+  std::string row;           // RowIdentity of the matched rows
+  std::string key;           // metric field name
+  double baseline = 0.0;
+  double candidate = 0.0;
+  /// Signed relative move in the *bad* direction (positive == worse), so a
+  /// 12% slowdown and a 12% quality drop both report +0.12.
+  double relative_worse = 0.0;
+  bool regression = false;
+};
+
+struct CompareReport {
+  std::vector<MetricDelta> deltas;  // every classified metric compared
+  std::vector<std::string> missing_in_candidate;  // identities dropped
+  std::vector<std::string> missing_in_baseline;   // identities added
+  int regressions = 0;
+};
+
+/// Compares candidate against baseline row by row. Rows present in only one
+/// file are reported but are not regressions (bench coverage may evolve);
+/// only classified metrics that moved in the bad direction past the
+/// tolerance count.
+inline CompareReport CompareBench(const std::vector<BenchRow>& baseline,
+                                  const std::vector<BenchRow>& candidate,
+                                  const CompareOptions& options = {}) {
+  CompareReport report;
+  std::map<std::string, const BenchRow*> candidate_by_id;
+  for (const BenchRow& row : candidate) {
+    candidate_by_id.emplace(RowIdentity(row), &row);  // first wins
+  }
+  std::map<std::string, bool> candidate_matched;
+  for (const auto& [id, row] : candidate_by_id) candidate_matched[id] = false;
+
+  for (const BenchRow& base_row : baseline) {
+    const std::string id = RowIdentity(base_row);
+    auto it = candidate_by_id.find(id);
+    if (it == candidate_by_id.end()) {
+      report.missing_in_candidate.push_back(id);
+      continue;
+    }
+    candidate_matched[id] = true;
+    const BenchRow& cand_row = *it->second;
+    for (const auto& [key, base_value] : base_row) {
+      if (base_value.kind != BenchValue::Kind::kNumber || IsAxisKey(key)) {
+        continue;
+      }
+      const bool lower_better = IsLowerBetter(key);
+      const bool higher_better = !lower_better && IsHigherBetter(key);
+      if (!lower_better && !higher_better) continue;
+      const BenchValue* cand_value = nullptr;
+      for (const auto& [ckey, cvalue] : cand_row) {
+        if (ckey == key && cvalue.kind == BenchValue::Kind::kNumber) {
+          cand_value = &cvalue;
+          break;
+        }
+      }
+      if (cand_value == nullptr) continue;
+      MetricDelta delta;
+      delta.row = id;
+      delta.key = key;
+      delta.baseline = base_value.num;
+      delta.candidate = cand_value->num;
+      const double worse_by = lower_better
+                                  ? cand_value->num - base_value.num
+                                  : base_value.num - cand_value->num;
+      const double denom = std::max(std::abs(base_value.num),
+                                    options.absolute_floor);
+      delta.relative_worse = worse_by / denom;
+      delta.regression = delta.relative_worse > options.tolerance &&
+                         worse_by > options.absolute_floor;
+      if (delta.regression) ++report.regressions;
+      report.deltas.push_back(std::move(delta));
+    }
+  }
+  for (const auto& [id, matched] : candidate_matched) {
+    if (!matched) report.missing_in_baseline.push_back(id);
+  }
+  return report;
+}
+
+/// Human-readable summary: one line per regression, then the tally.
+inline std::string FormatCompareReport(const CompareReport& report,
+                                       const CompareOptions& options = {}) {
+  std::string out;
+  char line[512];
+  for (const MetricDelta& d : report.deltas) {
+    if (!d.regression) continue;
+    std::snprintf(line, sizeof(line),
+                  "REGRESSION  %s  %s: %.6g -> %.6g (%.1f%% worse)\n",
+                  d.row.c_str(), d.key.c_str(), d.baseline, d.candidate,
+                  100.0 * d.relative_worse);
+    out += line;
+  }
+  for (const std::string& id : report.missing_in_candidate) {
+    out += "missing in candidate: " + id + "\n";
+  }
+  for (const std::string& id : report.missing_in_baseline) {
+    out += "only in candidate:    " + id + "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "%zu metric(s) compared, %d regression(s) beyond %.0f%%\n",
+                report.deltas.size(), report.regressions,
+                100.0 * options.tolerance);
+  out += line;
+  return out;
+}
+
+}  // namespace rasa::bench
+
+#endif  // RASA_BENCH_BENCH_COMPARE_LIB_H_

@@ -107,6 +107,13 @@ int main() {
   std::printf("all parallel placements bit-identical to sequential\n");
   std::printf("8-thread speedup on %s: %.2fx\n", largest_cluster.c_str(),
               largest_cluster_speedup8);
+  if (std::getenv("RASA_BENCH_NO_THRESHOLD") != nullptr) {
+    // Smoke mode (used by the bench_scaling_smoke ctest entry): clusters
+    // are too small to amortize the pool, so only the determinism claim is
+    // asserted and the timing rows are just recorded for bench_compare.
+    std::printf("speedup threshold skipped: RASA_BENCH_NO_THRESHOLD set\n");
+    return 0;
+  }
   if (hw >= 8) {
     if (largest_cluster_speedup8 < 2.5) {
       std::fprintf(stderr,

@@ -13,6 +13,12 @@
 //       Simulate the periodic CronJob workflow with the hardened migration
 //       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
 //       harness injects command failures / a mid-migration machine cordon.
+//   rasa_cli explain <in.snapshot> [cycles] [timeout_s]
+//       Run the workflow with noise-free measurement and print each
+//       cycle's explain report: per-subproblem solver records, the
+//       optimality-gap certificate, the attribution waterfall, and the
+//       placement diff. With --metrics-out, the same data is embedded as
+//       the JSON "report" section.
 //
 // `optimize` and `workflow` additionally accept anywhere on the command
 // line:
@@ -37,6 +43,7 @@
 #include "cluster/serialization.h"
 #include "common/json_writer.h"
 #include "common/metrics.h"
+#include "core/explain.h"
 #include "core/objective.h"
 #include "core/rasa.h"
 #include "graph/powerlaw_fit.h"
@@ -56,6 +63,7 @@ int Usage() {
       "[out.snapshot]\n"
       "  rasa_cli workflow [flags] <in.snapshot> [cycles] [fail_prob] "
       "[cordon_after] [seed]\n"
+      "  rasa_cli explain [flags] <in.snapshot> [cycles] [timeout_s]\n"
       "flags (optimize/workflow, anywhere on the line):\n"
       "  --threads N         solver worker threads (0 = hardware threads)\n"
       "  --metrics-out=FILE  write a JSON metrics/trace report after the "
@@ -119,10 +127,14 @@ bool ExtractTrace(int& argc, char** argv) {
 }
 
 // Post-run observability output: writes the JSON report (registry scrape +
-// optional per-cycle workflow snapshots + completed trace spans) and prints
-// the human-readable trace tree. Returns false if the file write failed.
+// optional per-cycle workflow snapshots + completed trace spans + explain
+// reports) and prints the human-readable trace tree. `single_run` embeds
+// one Optimize run's explain report; `explain_cycles` embeds every
+// workflow cycle's. Returns false if the file write failed.
 bool EmitObservability(const std::string& metrics_out, bool trace,
-                       const WorkflowReport* workflow) {
+                       const WorkflowReport* workflow,
+                       const RasaResult* single_run = nullptr,
+                       bool explain_cycles = false) {
   if (trace) {
     std::fprintf(stderr, "--- phase trace ---\n%s",
                  Tracer::Default().SummaryTree().c_str());
@@ -136,6 +148,28 @@ bool EmitObservability(const std::string& metrics_out, bool trace,
     w.Key("cycles").BeginArray();
     for (const CycleReport& cr : workflow->cycles) {
       cr.metrics.AppendJson(w);
+    }
+    w.EndArray();
+  }
+  if (single_run != nullptr) {
+    w.Key("report");
+    AppendExplainJson(w, single_run->report);
+  }
+  if (workflow != nullptr && explain_cycles) {
+    w.Key("report").BeginArray();
+    for (size_t c = 0; c < workflow->cycles.size(); ++c) {
+      const CycleReport& cr = workflow->cycles[c];
+      w.BeginObject();
+      w.Key("cycle").Value(static_cast<int>(c));
+      w.Key("affinity_before").Value(cr.affinity_before);
+      w.Key("affinity_after").Value(cr.affinity_after);
+      w.Key("predicted_affinity").Value(cr.predicted_affinity);
+      w.Key("executed").Value(cr.executed);
+      w.Key("rolled_back").Value(cr.rolled_back);
+      w.Key("migration_truncation").Value(cr.migration_truncation);
+      w.Key("explain");
+      AppendExplainJson(w, cr.explain);
+      w.EndObject();
     }
     w.EndArray();
   }
@@ -256,7 +290,7 @@ int Optimize(int argc, char** argv, int threads,
     }
     std::printf("wrote optimized snapshot to %s\n", argv[4]);
   }
-  return EmitObservability(metrics_out, trace, nullptr) ? 0 : 1;
+  return EmitObservability(metrics_out, trace, nullptr, &*result) ? 0 : 1;
 }
 
 int Workflow(int argc, char** argv, int threads,
@@ -314,6 +348,54 @@ int Workflow(int argc, char** argv, int threads,
   return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
 }
 
+// Runs the workflow with noise-free measurement and prints each cycle's
+// explain report (the human-readable form of the "report" JSON section).
+int Explain(int argc, char** argv, int threads,
+            const std::string& metrics_out, bool trace) {
+  if (argc < 3) return Usage();
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+  if (!snapshot.ok()) {
+    std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
+    return 1;
+  }
+  WorkflowOptions options;
+  options.rasa.num_threads = threads;
+  options.cycles = argc > 3 ? std::atoi(argv[3]) : 1;
+  options.rasa.timeout_seconds = argc > 4 ? std::atof(argv[4]) : 2.0;
+  // Explain the real measured weights: reports should attribute the
+  // pipeline, not the measurement noise.
+  options.measurement_noise = 0.0;
+
+  StatusOr<WorkflowReport> report =
+      RunWorkflow(*snapshot->cluster, snapshot->original_placement,
+                  AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "explain: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t c = 0; c < report->cycles.size(); ++c) {
+    const CycleReport& cr = report->cycles[c];
+    std::printf("=== cycle %zu: affinity %.4f -> %.4f%s ===\n", c,
+                cr.affinity_before, cr.affinity_after,
+                cr.executed ? (cr.reached_target ? " [executed]" : " [partial]")
+                            : (cr.rolled_back ? " [rolled back]"
+                                              : " [dry-run]"));
+    if (cr.executed) {
+      std::printf("migration truncation: %.6f (predicted %.4f, achieved "
+                  "%.4f)\n",
+                  cr.migration_truncation, cr.predicted_affinity,
+                  cr.affinity_after);
+    }
+    if (cr.solver_failed) {
+      std::printf("optimizer failed this cycle; no explain report\n");
+      continue;
+    }
+    std::fputs(FormatExplainReport(cr.explain).c_str(), stdout);
+  }
+  return EmitObservability(metrics_out, trace, &*report, nullptr, true) ? 0
+                                                                        : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -329,6 +411,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "workflow") == 0) {
     return Workflow(argc, argv, threads, metrics_out, trace);
+  }
+  if (std::strcmp(argv[1], "explain") == 0) {
+    return Explain(argc, argv, threads, metrics_out, trace);
   }
   return Usage();
 }

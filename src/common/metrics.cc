@@ -122,6 +122,32 @@ void Histogram::Observe(double value) {
   AtomicMax(shard.max, value);
 }
 
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return std::numeric_limits<double>::quiet_NaN();
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  const double target = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= target) {
+      // Bucket edges: the underflow bucket starts at 0, the overflow
+      // bucket has no finite upper edge — the observed max stands in.
+      double lo = b == 0 ? 0.0 : Histogram::BucketUpperBound(b - 1);
+      double hi = Histogram::BucketUpperBound(b);
+      if (!std::isfinite(hi)) hi = max;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(buckets[b]);
+      const double value = lo + fraction * (hi - lo);
+      return std::min(std::max(value, min), max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
 Histogram::Snapshot Histogram::Scrape() const {
   Snapshot out;
   for (const Shard& shard : shards_) {

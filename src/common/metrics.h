@@ -101,6 +101,13 @@ class Histogram {
     double min = std::numeric_limits<double>::infinity();
     double max = -std::numeric_limits<double>::infinity();
     std::array<uint64_t, kNumBuckets> buckets{};
+
+    /// Estimated q-quantile (q in [0, 1]) from the log-scale buckets:
+    /// linear interpolation inside the bucket the rank lands in, clamped
+    /// to the observed [min, max] (so p0 == min and p100 == max exactly;
+    /// interior quantiles carry the bucket's <= 2x relative error). NaN
+    /// when the histogram is empty.
+    double Quantile(double q) const;
   };
   /// Aggregates all shards.
   Snapshot Scrape() const;

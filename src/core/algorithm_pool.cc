@@ -44,36 +44,49 @@ StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
                                               const Placement& base,
                                               const Placement& original,
                                               const Deadline& deadline,
-                                              uint64_t seed) {
+                                              uint64_t seed,
+                                              PoolAttemptStats* stats) {
   PoolMetrics& metrics = MetricsFor(algorithm);
   metrics.picks.Increment();
   Stopwatch timer;
   StatusOr<SubproblemSolution> result =
       InvalidArgumentError("unknown pool algorithm");
+  if (stats != nullptr) *stats = PoolAttemptStats{};
   switch (algorithm) {
     case PoolAlgorithm::kCg: {
       CgOptions options;
       options.deadline = deadline;
       options.seed = seed;
-      CgStats stats;
+      CgStats cg_stats;
       result = SolveSubproblemCg(cluster, subproblem, base, original, options,
-                                 &stats);
+                                 &cg_stats);
       MetricRegistry& reg = MetricRegistry::Default();
       static Histogram& rounds = reg.GetHistogram("pool.cg_rounds");
       static Histogram& patterns = reg.GetHistogram("pool.cg_patterns");
-      rounds.Observe(static_cast<double>(stats.rounds));
-      patterns.Observe(static_cast<double>(stats.patterns_generated));
+      rounds.Observe(static_cast<double>(cg_stats.rounds));
+      patterns.Observe(static_cast<double>(cg_stats.patterns_generated));
+      if (stats != nullptr) {
+        stats->has_cg = true;
+        stats->cg = cg_stats;
+      }
       break;
     }
     case PoolAlgorithm::kMip: {
       MipAlgorithmOptions options;
       options.deadline = deadline;
       options.seed = seed;
-      result = SolveSubproblemMip(cluster, subproblem, base, options);
+      result = SolveSubproblemMip(cluster, subproblem, base, options,
+                                  stats != nullptr ? &stats->mip : nullptr);
+      if (stats != nullptr) stats->has_mip = true;
       break;
     }
   }
-  metrics.seconds.Observe(timer.ElapsedSeconds());
+  const double seconds = timer.ElapsedSeconds();
+  metrics.seconds.Observe(seconds);
+  if (stats != nullptr) {
+    stats->algorithm = algorithm;
+    stats->seconds = seconds;
+  }
   if (!result.ok()) metrics.failures.Increment();
   return result;
 }

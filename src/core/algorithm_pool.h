@@ -5,6 +5,8 @@
 #include "cluster/placement.h"
 #include "common/statusor.h"
 #include "common/timer.h"
+#include "core/cg.h"
+#include "core/mip_algorithm.h"
 #include "core/subproblem.h"
 
 namespace rasa {
@@ -14,16 +16,30 @@ enum class PoolAlgorithm { kCg = 0, kMip = 1 };
 
 const char* PoolAlgorithmToString(PoolAlgorithm algorithm);
 
+/// Everything one pool-algorithm attempt reveals about itself, captured for
+/// the solve ledger (observation-only — nothing here steers the solve).
+struct PoolAttemptStats {
+  PoolAlgorithm algorithm = PoolAlgorithm::kCg;
+  double seconds = 0.0;
+  /// Exactly one of the two is populated, matching `algorithm`.
+  bool has_cg = false;
+  CgStats cg;
+  bool has_mip = false;
+  SubproblemMipStats mip;
+};
+
 /// Runs one pool algorithm on a subproblem. `base` holds the trivial
 /// residents (defines residual capacities); `original` is the pre-RASA
-/// placement (CG seeds patterns from it). Neither is modified.
+/// placement (CG seeds patterns from it). Neither is modified. `stats`,
+/// when non-null, receives the attempt's solver introspection.
 StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
                                               const Cluster& cluster,
                                               const Subproblem& subproblem,
                                               const Placement& base,
                                               const Placement& original,
                                               const Deadline& deadline,
-                                              uint64_t seed = 29);
+                                              uint64_t seed = 29,
+                                              PoolAttemptStats* stats = nullptr);
 
 }  // namespace rasa
 

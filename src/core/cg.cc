@@ -340,6 +340,13 @@ bool CgSolver::SolveMaster(std::vector<std::vector<double>>& y,
   lp_options.deadline = options_.deadline;
   LpResult lp = SolveLp(master, lp_options);
   ++stats_.master_solves;
+  stats_.lp_iterations += lp.iterations;
+  stats_.lp_phase1_iterations += lp.phase1_iterations;
+  if (lp.status == LpStatus::kOptimal) {
+    // Last fully solved master wins: the dual estimate reported upstream.
+    stats_.lp_objective = lp.objective;
+    stats_.has_lp_bound = true;
+  }
   if (lp.status != LpStatus::kOptimal &&
       lp.status != LpStatus::kIterationLimit &&
       lp.status != LpStatus::kDeadlineExceeded) {

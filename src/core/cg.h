@@ -34,6 +34,16 @@ struct CgStats {
   int patterns_generated = 0;
   int master_solves = 0;
   bool hit_deadline = false;
+  /// Objective of the last successfully solved restricted master LP: the
+  /// CG dual estimate of the subproblem's achievable gained affinity. It
+  /// upper-bounds any integral selection of the *generated* patterns, but
+  /// greedy completion may round above it — certificate consumers must cap
+  /// it with the realized value (see explain.h).
+  double lp_objective = 0.0;
+  bool has_lp_bound = false;
+  /// Simplex pivots across all master solves, with the phase-1 share.
+  int lp_iterations = 0;
+  int lp_phase1_iterations = 0;
 };
 
 /// The column-generation pool algorithm (§IV-C2, Algorithm 1).

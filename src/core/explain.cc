@@ -1,0 +1,346 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "core/objective.h"
+
+namespace rasa {
+namespace {
+
+// Containers of `service` that sit on different machines in `after` than in
+// `before` (each moved container counted once: sum of positive gains).
+int MovedContainersOf(const Placement& before, const Placement& after,
+                      int service) {
+  int moved = 0;
+  for (const auto& [machine, count] : after.MachinesOf(service)) {
+    const int delta = count - before.CountOn(machine, service);
+    if (delta > 0) moved += delta;
+  }
+  return moved;
+}
+
+void AppendAttemptJson(JsonWriter& w, const SolveAttempt& attempt,
+                       bool include_timings) {
+  w.BeginObject();
+  w.Key("algorithm").Value(PoolAlgorithmToString(attempt.algorithm));
+  w.Key("outcome").Value(AttemptOutcomeToString(attempt.outcome));
+  if (include_timings) w.Key("seconds").Value(attempt.seconds);
+  if (attempt.has_cg) {
+    w.Key("cg").BeginObject();
+    w.Key("rounds").Value(attempt.cg.rounds);
+    w.Key("patterns_generated").Value(attempt.cg.patterns_generated);
+    w.Key("master_solves").Value(attempt.cg.master_solves);
+    w.Key("hit_deadline").Value(attempt.cg.hit_deadline);
+    w.Key("lp_iterations").Value(attempt.cg.lp_iterations);
+    w.Key("lp_phase1_iterations").Value(attempt.cg.lp_phase1_iterations);
+    w.Key("has_lp_bound").Value(attempt.cg.has_lp_bound);
+    if (attempt.cg.has_lp_bound) {
+      w.Key("lp_objective").Value(attempt.cg.lp_objective);
+    }
+    w.EndObject();
+  }
+  if (attempt.has_mip) {
+    w.Key("mip").BeginObject();
+    w.Key("solved").Value(attempt.mip.solved);
+    w.Key("status").Value(MipStatusToString(attempt.mip.status));
+    w.Key("objective").Value(attempt.mip.objective);
+    w.Key("best_bound").Value(attempt.mip.best_bound);
+    w.Key("bound_proven").Value(attempt.mip.bound_proven);
+    w.Key("relative_gap").Value(attempt.mip.relative_gap);
+    w.Key("nodes").Value(attempt.mip.nodes);
+    w.Key("lp_iterations").Value(attempt.mip.lp_iterations);
+    if (attempt.mip.has_root_lp) {
+      w.Key("root_lp_objective").Value(attempt.mip.root_lp_objective);
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+void AppendRecordJson(JsonWriter& w, const LedgerRecord& r,
+                      bool include_timings) {
+  w.BeginObject();
+  w.Key("subproblem").Value(r.subproblem);
+  w.Key("position").Value(r.position);
+  w.Key("num_services").Value(r.num_services);
+  w.Key("num_machines").Value(r.num_machines);
+  w.Key("internal_affinity").Value(r.internal_affinity);
+  w.Key("selector_policy").Value(SelectorPolicyToString(r.selector_policy));
+  w.Key("selected").Value(PoolAlgorithmToString(r.selected));
+  w.Key("ladder_rung").Value(r.ladder_rung);
+  w.Key("used_secondary").Value(r.used_secondary);
+  w.Key("fell_to_greedy").Value(r.fell_to_greedy);
+  if (include_timings) {
+    w.Key("budget_seconds").Value(r.budget_seconds);
+    w.Key("seconds").Value(r.seconds);
+  }
+  w.Key("realized_affinity").Value(r.realized_affinity);
+  w.Key("unplaced_containers").Value(r.unplaced_containers);
+  w.Key("certificate_bound").Value(r.certificate_bound);
+  w.Key("bound_tightened").Value(r.bound_tightened);
+  w.Key("primary");
+  AppendAttemptJson(w, r.primary, include_timings);
+  if (r.secondary.outcome != AttemptOutcome::kNotRun) {
+    w.Key("secondary");
+    AppendAttemptJson(w, r.secondary, include_timings);
+  }
+  w.EndObject();
+}
+
+std::string FormatAttemptBrief(const SolveAttempt& a) {
+  std::string out = StrFormat("%s %s", PoolAlgorithmToString(a.algorithm),
+                              AttemptOutcomeToString(a.outcome));
+  if (a.has_cg) {
+    out += StrFormat(" (rounds=%d patterns=%d lp_it=%d", a.cg.rounds,
+                     a.cg.patterns_generated, a.cg.lp_iterations);
+    if (a.cg.has_lp_bound) out += StrFormat(" lp_bound=%.6f", a.cg.lp_objective);
+    out += ")";
+  }
+  if (a.has_mip) {
+    out += StrFormat(" (%s nodes=%d gap=%.2g%s", MipStatusToString(a.mip.status),
+                     a.mip.nodes, a.mip.relative_gap,
+                     a.mip.bound_proven ? " proven" : "");
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+double QualityCertificate::Gap() const {
+  const double reference = std::max(bound_final, 1e-12);
+  return std::max(0.0, bound_final - achieved_final) / reference;
+}
+
+double QualityCertificate::Ratio() const {
+  if (bound_final <= 1e-12) return 1.0;
+  return std::min(1.0, achieved_final / bound_final);
+}
+
+PlacementDiffAudit BuildPlacementDiff(const Cluster& cluster,
+                                      const Placement& before,
+                                      const Placement& after, int top_k) {
+  PlacementDiffAudit audit;
+  audit.moved_containers = after.DiffCount(before);
+
+  std::vector<PlacementDiffAudit::ServiceMove> moves;
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    const int moved = MovedContainersOf(before, after, s);
+    if (moved == 0) continue;
+    moves.push_back({s, cluster.service(s).name, moved});
+  }
+  std::sort(moves.begin(), moves.end(), [](const auto& a, const auto& b) {
+    return a.moved_containers != b.moved_containers
+               ? a.moved_containers > b.moved_containers
+               : a.service < b.service;
+  });
+  if (static_cast<int>(moves.size()) > top_k) moves.resize(top_k);
+  audit.top_moved = std::move(moves);
+
+  std::vector<PlacementDiffAudit::PairLocalization> pairs;
+  const std::vector<AffinityEdge>& edges = cluster.affinity().edges();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const AffinityEdge& edge = edges[e];
+    PlacementDiffAudit::PairLocalization p;
+    p.u = edge.u;
+    p.v = edge.v;
+    p.weight = edge.weight;
+    p.ratio_before = PairLocalizationRatio(cluster, before, edge.u, edge.v);
+    p.ratio_after = PairLocalizationRatio(cluster, after, edge.u, edge.v);
+    p.delta_affinity = edge.weight * (p.ratio_after - p.ratio_before);
+    if (std::abs(p.delta_affinity) <= 1e-12) continue;
+    p.name_u = cluster.service(edge.u).name;
+    p.name_v = cluster.service(edge.v).name;
+    pairs.push_back(std::move(p));
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const auto& a, const auto& b) {
+    if (a.delta_affinity != b.delta_affinity) {
+      return a.delta_affinity > b.delta_affinity;
+    }
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  if (static_cast<int>(pairs.size()) > top_k) pairs.resize(top_k);
+  audit.top_localized = std::move(pairs);
+  return audit;
+}
+
+void AppendExplainJson(JsonWriter& w, const ExplainReport& report,
+                       bool include_timings) {
+  w.BeginObject();
+  w.Key("populated").Value(report.populated);
+
+  w.Key("certificate").BeginObject();
+  {
+    const QualityCertificate& c = report.certificate;
+    w.Key("achieved_solver_phase").Value(c.achieved_solver_phase);
+    w.Key("achieved_final").Value(c.achieved_final);
+    w.Key("external_affinity").Value(c.external_affinity);
+    w.Key("sum_internal_affinity").Value(c.sum_internal_affinity);
+    w.Key("bound_solver_phase").Value(c.bound_solver_phase);
+    w.Key("local_search_credit").Value(c.local_search_credit);
+    w.Key("bound_final").Value(c.bound_final);
+    w.Key("gap").Value(c.Gap());
+    w.Key("ratio").Value(c.Ratio());
+    w.Key("tightened_terms").Value(c.tightened_terms);
+    w.Key("terms").BeginArray();
+    for (const CertificateTerm& t : c.terms) {
+      w.BeginObject();
+      w.Key("subproblem").Value(t.subproblem);
+      w.Key("internal_affinity").Value(t.internal_affinity);
+      w.Key("bound").Value(t.bound);
+      w.Key("tightened").Value(t.tightened);
+      w.Key("source").Value(t.source);
+      w.Key("realized").Value(t.realized);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.Key("waterfall").BeginObject();
+  {
+    const AttributionWaterfall& wf = report.waterfall;
+    w.Key("base_retained").Value(wf.base_retained);
+    w.Key("solver_gain").Value(wf.solver_gain);
+    w.Key("fallback_delta").Value(wf.fallback_delta);
+    w.Key("local_search_delta").Value(wf.local_search_delta);
+    w.Key("total").Value(wf.total);
+    w.Key("partition_cut_affinity").Value(wf.partition_cut_affinity);
+    w.Key("original_gained_affinity").Value(wf.original_gained_affinity);
+  }
+  w.EndObject();
+
+  w.Key("diff").BeginObject();
+  {
+    const PlacementDiffAudit& d = report.diff;
+    w.Key("moved_containers").Value(d.moved_containers);
+    w.Key("top_moved").BeginArray();
+    for (const auto& m : d.top_moved) {
+      w.BeginObject();
+      w.Key("service").Value(m.service);
+      w.Key("name").Value(m.name);
+      w.Key("moved_containers").Value(m.moved_containers);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("top_localized").BeginArray();
+    for (const auto& p : d.top_localized) {
+      w.BeginObject();
+      w.Key("u").Value(p.u);
+      w.Key("v").Value(p.v);
+      w.Key("name_u").Value(p.name_u);
+      w.Key("name_v").Value(p.name_v);
+      w.Key("weight").Value(p.weight);
+      w.Key("ratio_before").Value(p.ratio_before);
+      w.Key("ratio_after").Value(p.ratio_after);
+      w.Key("delta_affinity").Value(p.delta_affinity);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+
+  w.Key("local_search").BeginObject();
+  w.Key("ran").Value(report.local_search_ran);
+  w.Key("moves_applied").Value(report.local_search.moves_applied);
+  w.Key("swaps_applied").Value(report.local_search.swaps_applied);
+  w.Key("gain").Value(report.local_search.gain);
+  w.Key("passes").Value(report.local_search.passes);
+  w.EndObject();
+
+  w.Key("records").BeginArray();
+  for (const LedgerRecord& r : report.records) {
+    AppendRecordJson(w, r, include_timings);
+  }
+  w.EndArray();
+
+  w.EndObject();
+}
+
+std::string FormatExplainReport(const ExplainReport& report) {
+  std::string out;
+  if (!report.populated) return "explain report: not populated\n";
+
+  const QualityCertificate& c = report.certificate;
+  out += "== Quality certificate ==\n";
+  out += StrFormat("  achieved (final)        %.6f\n", c.achieved_final);
+  out += StrFormat("  provable upper bound    %.6f\n", c.bound_final);
+  out += StrFormat("  optimality gap          %.2f%%  (ratio %.4f)\n",
+                   100.0 * c.Gap(), c.Ratio());
+  out += StrFormat(
+      "  bound terms: external %.6f + subproblems %.6f (%d of %d tightened)"
+      " + local-search credit %.6f\n",
+      c.external_affinity, c.bound_solver_phase - c.external_affinity,
+      c.tightened_terms, static_cast<int>(c.terms.size()),
+      c.local_search_credit);
+
+  const AttributionWaterfall& wf = report.waterfall;
+  out += "== Attribution waterfall ==\n";
+  out += StrFormat("  original gained affinity  %.6f\n",
+                   wf.original_gained_affinity);
+  out += StrFormat("  base retained (trivial)  +%.6f\n", wf.base_retained);
+  out += StrFormat("  solver gain              %+.6f\n", wf.solver_gain);
+  out += StrFormat("  fallback delta           %+.6f\n", wf.fallback_delta);
+  out += StrFormat("  local-search delta       %+.6f\n", wf.local_search_delta);
+  out += StrFormat("  = final gained affinity   %.6f\n", wf.total);
+  out += StrFormat("  (partition cut affinity   %.6f, not solvable at this"
+                   " partition)\n",
+                   wf.partition_cut_affinity);
+
+  out += "== Per-subproblem solves ==\n";
+  // Filled by hand rather than via Histogram::Observe so the report does
+  // not depend on the global metrics switch.
+  Histogram::Snapshot hs;
+  for (const LedgerRecord& r : report.records) {
+    ++hs.buckets[static_cast<size_t>(Histogram::BucketIndex(r.seconds))];
+    ++hs.count;
+    hs.sum += r.seconds;
+    hs.min = std::min(hs.min, r.seconds);
+    hs.max = std::max(hs.max, r.seconds);
+    out += StrFormat("  #%d (pos %d, %d svc x %d mach, affinity %.6f): ",
+                     r.subproblem, r.position, r.num_services, r.num_machines,
+                     r.internal_affinity);
+    out += StrFormat("%s via %s -> rung %d, realized %.6f, bound %.6f%s\n",
+                     PoolAlgorithmToString(r.selected),
+                     SelectorPolicyToString(r.selector_policy), r.ladder_rung,
+                     r.realized_affinity, r.certificate_bound,
+                     r.bound_tightened ? " (tightened)" : "");
+    out += "      primary:   " + FormatAttemptBrief(r.primary) + "\n";
+    if (r.secondary.outcome != AttemptOutcome::kNotRun) {
+      out += "      secondary: " + FormatAttemptBrief(r.secondary) + "\n";
+    }
+  }
+  if (hs.count > 0) {
+    out += StrFormat(
+        "  solve seconds: p50 %.4f  p95 %.4f  p99 %.4f  max %.4f (n=%llu)\n",
+        hs.Quantile(0.5), hs.Quantile(0.95), hs.Quantile(0.99), hs.max,
+        static_cast<unsigned long long>(hs.count));
+  }
+
+  if (report.local_search_ran) {
+    out += StrFormat(
+        "== Local search ==\n  moves %d, swaps %d, gain %.6f, passes %d\n",
+        report.local_search.moves_applied, report.local_search.swaps_applied,
+        report.local_search.gain, report.local_search.passes);
+  }
+
+  const PlacementDiffAudit& d = report.diff;
+  out += StrFormat("== Placement diff ==\n  moved containers: %d\n",
+                   d.moved_containers);
+  for (const auto& m : d.top_moved) {
+    out += StrFormat("  moved %4d  %s\n", m.moved_containers, m.name.c_str());
+  }
+  out += "  most localized pairs:\n";
+  for (const auto& p : d.top_localized) {
+    out += StrFormat("    %s <-> %s: weight %.6f, localized %.3f -> %.3f"
+                     " (+%.6f affinity)\n",
+                     p.name_u.c_str(), p.name_v.c_str(), p.weight,
+                     p.ratio_before, p.ratio_after, p.delta_affinity);
+  }
+  return out;
+}
+
+}  // namespace rasa

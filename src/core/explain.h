@@ -1,0 +1,157 @@
+#ifndef RASA_CORE_EXPLAIN_H_
+#define RASA_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/json_writer.h"
+#include "core/local_search.h"
+#include "core/solve_ledger.h"
+
+namespace rasa {
+
+/// One subproblem's term of the cluster optimality-gap certificate.
+struct CertificateTerm {
+  int subproblem = 0;
+  double internal_affinity = 0.0;
+  /// The bound actually charged for this subproblem:
+  /// min(internal_affinity, solver bound) when `tightened`, else
+  /// internal_affinity (the trivial bound — every internal edge fully
+  /// localized).
+  double bound = 0.0;
+  bool tightened = false;
+  /// Where the tightening came from: "mip" (proven B&B dual bound), "cg-lp"
+  /// (restricted master LP objective, capped by the realized value because
+  /// greedy completion may round above the LP), or "trivial".
+  std::string source = "trivial";
+  double realized = 0.0;
+};
+
+/// Provable upper bound on the gained affinity achievable by the RASA
+/// pipeline at this partition, against what the run actually achieved.
+///
+/// Construction: every affinity edge contributes at most its full weight,
+/// so edges external to all subproblems (cut edges + edges touching trivial
+/// services) are charged in full as `external_affinity`. Each subproblem's
+/// internal edges are charged min(internal_affinity, solver bound), where
+/// the solver bound is only trusted when (a) the solver proved it
+/// (MipResult::bound_proven, or a solved CG master LP capped by the
+/// realized value) and (b) the subproblem placed every container inside its
+/// own machines (unplaced == 0) — otherwise the fallback may localize
+/// internal edges on machines the solver never modeled, voiding its bound.
+/// Local search moves containers across subproblem boundaries, so its
+/// realized delta is credited to the bound rather than certified.
+struct QualityCertificate {
+  /// Gained affinity after merge + fallback, before local search (A3).
+  double achieved_solver_phase = 0.0;
+  /// Final gained affinity of the run (A4 == RasaResult::new_gained_affinity).
+  double achieved_final = 0.0;
+
+  /// Weight of edges not internal to any subproblem, charged in full.
+  double external_affinity = 0.0;
+  double sum_internal_affinity = 0.0;
+  /// external_affinity + sum of per-subproblem certificate terms.
+  double bound_solver_phase = 0.0;
+  /// max(0, local-search delta): realized, not certified (see above).
+  double local_search_credit = 0.0;
+  /// bound_solver_phase + local_search_credit; achieved_final <= bound_final.
+  double bound_final = 0.0;
+
+  int tightened_terms = 0;
+  std::vector<CertificateTerm> terms;
+
+  /// Relative optimality gap of the run: (bound - achieved) / max(bound, eps).
+  double Gap() const;
+  /// achieved_final / bound_final in [0, 1]; 1 when the bound is met.
+  double Ratio() const;
+};
+
+/// Waterfall decomposition of the final gained affinity by pipeline phase.
+/// The four terms sum exactly (to rounding) to `total`:
+///   total = base_retained + solver_gain + fallback_delta + local_search_delta.
+struct AttributionWaterfall {
+  /// A1: gained affinity of the base placement (trivial residents only).
+  double base_retained = 0.0;
+  /// A2 - A1: added by the per-subproblem solves at the merge.
+  double solver_gain = 0.0;
+  /// A3 - A2: added (or lost) by the default-scheduler fallback.
+  double fallback_delta = 0.0;
+  /// A4 - A3: added by the optional local-search refinement.
+  double local_search_delta = 0.0;
+  /// A4: the run's final gained affinity.
+  double total = 0.0;
+
+  // Context (not part of the sum):
+  /// Affinity share on edges not internal to any subproblem — the
+  /// partitioning's optimality loss (1 - crucial_internal_affinity of a
+  /// weight-1 graph).
+  double partition_cut_affinity = 0.0;
+  double original_gained_affinity = 0.0;
+
+  double Sum() const {
+    return base_retained + solver_gain + fallback_delta + local_search_delta;
+  }
+};
+
+/// Who moved and which traffic got localized, naming names.
+struct PlacementDiffAudit {
+  struct ServiceMove {
+    int service = 0;
+    std::string name;
+    int moved_containers = 0;
+  };
+  struct PairLocalization {
+    int u = 0;
+    int v = 0;
+    std::string name_u;
+    std::string name_v;
+    double weight = 0.0;
+    double ratio_before = 0.0;  // PairLocalizationRatio before / after
+    double ratio_after = 0.0;
+    /// weight * (ratio_after - ratio_before): gained affinity this pair won.
+    double delta_affinity = 0.0;
+  };
+
+  int moved_containers = 0;
+  /// Top services by containers moved, descending (index tie-break).
+  std::vector<ServiceMove> top_moved;
+  /// Top affinity edges by delta_affinity, descending (index tie-break).
+  std::vector<PairLocalization> top_localized;
+};
+
+/// The full explain report of one Optimize run: flight-recorder records in
+/// canonical order, the quality certificate, the attribution waterfall, and
+/// the placement diff. Deterministic: bit-identical at every thread count
+/// and with the ledger on or off (wall-clock fields excepted; JSON render
+/// can exclude them).
+struct ExplainReport {
+  bool populated = false;
+  QualityCertificate certificate;
+  AttributionWaterfall waterfall;
+  PlacementDiffAudit diff;
+  std::vector<LedgerRecord> records;
+  bool local_search_ran = false;
+  LocalSearchStats local_search;
+};
+
+/// Builds the diff audit between two placements over the same cluster.
+PlacementDiffAudit BuildPlacementDiff(const Cluster& cluster,
+                                      const Placement& before,
+                                      const Placement& after, int top_k = 8);
+
+/// Serializes the report as one JSON object on `writer`. With
+/// `include_timings` false, every wall-clock field is omitted so two runs
+/// of the same seed render bit-identically regardless of machine load —
+/// the form the determinism test compares.
+void AppendExplainJson(JsonWriter& writer, const ExplainReport& report,
+                       bool include_timings = true);
+
+/// Human-readable multi-line report: certificate, waterfall, per-subproblem
+/// solver table, solve-time quantiles (p50/p95/p99), and the diff audit.
+std::string FormatExplainReport(const ExplainReport& report);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_EXPLAIN_H_

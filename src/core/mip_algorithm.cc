@@ -14,6 +14,22 @@
 namespace rasa {
 namespace {
 
+// Copies the solver introspection a MipResult carries into the ledger
+// stats (observation-only).
+void FillMipStats(const MipResult& result, SubproblemMipStats* stats) {
+  if (stats == nullptr) return;
+  stats->solved = true;
+  stats->status = result.status;
+  stats->objective = result.has_solution() ? result.objective : 0.0;
+  stats->best_bound = result.best_bound;
+  stats->bound_proven = result.bound_proven && result.has_solution();
+  stats->root_lp_objective = result.root_lp_objective;
+  stats->has_root_lp = result.has_root_lp;
+  stats->relative_gap = result.has_solution() ? result.Gap() : 0.0;
+  stats->nodes = result.nodes_explored;
+  stats->lp_iterations = result.lp_iterations;
+}
+
 // Solver-quality metrics of one subproblem MIP solve (observation-only).
 void RecordMipMetrics(const MipResult& result) {
   MetricRegistry& reg = MetricRegistry::Default();
@@ -340,7 +356,8 @@ StatusOr<SubproblemSolution> SolveSubproblemMipGrouped(
 
 StatusOr<SubproblemSolution> SolveSubproblemMip(
     const Cluster& cluster, const Subproblem& subproblem,
-    const Placement& base, const MipAlgorithmOptions& options) {
+    const Placement& base, const MipAlgorithmOptions& options,
+    SubproblemMipStats* stats) {
   const int S = static_cast<int>(subproblem.services.size());
   const int M = static_cast<int>(subproblem.machines.size());
 
@@ -393,6 +410,7 @@ StatusOr<SubproblemSolution> SolveSubproblemMip(
   mip_options.initial_solution = warm;
   MipResult result = SolveMip(mip.model, mip_options);
   RecordMipMetrics(result);
+  FillMipStats(result, stats);
 
   if (!result.has_solution()) {
     // Infeasible should not happen (x = 0 is feasible); fall back to greedy.

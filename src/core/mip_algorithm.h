@@ -7,8 +7,31 @@
 #include "common/timer.h"
 #include "core/subproblem.h"
 #include "lp/model.h"
+#include "mip/solver.h"
 
 namespace rasa {
+
+/// Introspection of one subproblem MIP solve, surfaced to the solve ledger
+/// (observation-only; nothing reads it back into the algorithm).
+struct SubproblemMipStats {
+  /// A branch-and-bound actually ran (the model fit under the row cap and
+  /// was handed to SolveMip; false when the greedy warm start was returned
+  /// without a solve, e.g. an empty subproblem).
+  bool solved = false;
+  MipStatus status = MipStatus::kError;
+  /// Incumbent objective (model sense: gained affinity inside the
+  /// subproblem) and the best proven upper bound on it.
+  double objective = 0.0;
+  double best_bound = 0.0;
+  /// `best_bound` is a genuine dual bound (see MipResult::bound_proven);
+  /// when false it merely echoes the incumbent.
+  bool bound_proven = false;
+  double root_lp_objective = 0.0;
+  bool has_root_lp = false;
+  double relative_gap = 0.0;
+  int nodes = 0;
+  int lp_iterations = 0;
+};
 
 struct MipAlgorithmOptions {
   Deadline deadline = Deadline::Infinite();
@@ -42,10 +65,12 @@ StatusOr<SubproblemMip> BuildSubproblemMip(const Cluster& cluster,
 /// The MIP-based pool algorithm (§IV-C1): greedy warm start, then LP-based
 /// branch-and-bound until optimal or deadline. `base` holds the trivial
 /// residents and is NOT modified. Fails with kResourceExhausted when the
-/// model exceeds `max_model_rows` (reported as OOT upstream).
+/// model exceeds `max_model_rows` (reported as OOT upstream). `stats`, when
+/// non-null, receives the solver introspection for the solve ledger.
 StatusOr<SubproblemSolution> SolveSubproblemMip(
     const Cluster& cluster, const Subproblem& subproblem,
-    const Placement& base, const MipAlgorithmOptions& options = {});
+    const Placement& base, const MipAlgorithmOptions& options = {},
+    SubproblemMipStats* stats = nullptr);
 
 /// The grouped variant of the RASA MIP, following the paper's formulation
 /// literally: gained-affinity variables a_{s,s',g} are indexed by machine

@@ -17,6 +17,7 @@
 #include "core/greedy.h"
 #include "core/local_search.h"
 #include "core/objective.h"
+#include "core/solve_ledger.h"
 
 namespace rasa {
 namespace {
@@ -105,7 +106,69 @@ struct SolveRecord {
   AttemptRecord primary_attempt;
   AttemptRecord secondary_attempt;
   bool secondary_considered = false;  // worker reached the secondary rung
+  // Solver introspection of each speculative attempt, captured
+  // unconditionally (cheap out-params) and consumed by the merge when it
+  // assembles the flight-recorder records.
+  PoolAttemptStats primary_stats;
+  PoolAttemptStats secondary_stats;
 };
+
+// Translates a worker attempt into the ledger's SolveAttempt, using the
+// *replayed* ladder decision (`replay_outcome`) so records are independent
+// of worker scheduling. Stats are attached only when the attempt's result
+// is the one the replay acted on.
+SolveAttempt MakeAttempt(PoolAlgorithm algorithm, AttemptOutcome outcome,
+                         const PoolAttemptStats* stats) {
+  SolveAttempt attempt;
+  attempt.algorithm = algorithm;
+  attempt.outcome = outcome;
+  if (stats != nullptr &&
+      (outcome == AttemptOutcome::kOk || outcome == AttemptOutcome::kFailed)) {
+    attempt.seconds = stats->seconds;
+    attempt.has_cg = stats->has_cg;
+    attempt.cg = stats->cg;
+    attempt.has_mip = stats->has_mip;
+    attempt.mip = stats->mip;
+  }
+  return attempt;
+}
+
+// One subproblem's certificate term: min(internal, proven solver bound),
+// tightened below the trivial bound only when the winning attempt proved a
+// bound AND the merge placed every container inside the subproblem's own
+// machines (`merge_unplaced == 0`) — otherwise the fallback may localize
+// internal edges on machines the solver never modeled (see explain.h).
+CertificateTerm MakeCertificateTerm(int subproblem_idx,
+                                    double internal_affinity, double realized,
+                                    int merge_unplaced,
+                                    const SolveAttempt* winner) {
+  CertificateTerm term;
+  term.subproblem = subproblem_idx;
+  term.internal_affinity = internal_affinity;
+  term.realized = realized;
+  term.bound = internal_affinity;
+  if (winner == nullptr || merge_unplaced != 0) return term;
+  double candidate = internal_affinity;
+  if (winner->has_mip && winner->mip.solved && winner->mip.bound_proven) {
+    // A proven B&B dual bound; max with the realized value is a no-op for
+    // a correct solver but keeps the term sound defensively.
+    candidate = std::max(winner->mip.best_bound, realized);
+    term.source = "mip";
+  } else if (winner->has_cg && winner->cg.has_lp_bound) {
+    // The restricted master LP bounds any integral selection of generated
+    // patterns, but greedy completion may round above it — the realized
+    // value caps it back to soundness.
+    candidate = std::max(winner->cg.lp_objective, realized);
+    term.source = "cg-lp";
+  } else {
+    return term;
+  }
+  if (candidate < internal_affinity) {
+    term.bound = candidate;
+    term.tightened = true;
+  }
+  return term;
+}
 
 }  // namespace
 
@@ -232,7 +295,8 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     } else {
       rec.primary_attempt.result =
           RunPoolAlgorithm(rec.primary, cluster, sp, partition.base_placement,
-                           current, sp_deadline, primary_seed);
+                           current, sp_deadline, primary_seed,
+                           &rec.primary_stats);
       if (!rec.primary_attempt.result->ok()) {
         mark_failed(rec.primary, position);
       }
@@ -252,7 +316,7 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         rec.secondary_attempt.result = RunPoolAlgorithm(
             rec.secondary, cluster, sp, partition.base_placement, current,
             deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed);
+            rec.secondary_seed, &rec.secondary_stats);
         if (!rec.secondary_attempt.result->ok()) {
           mark_failed(rec.secondary, position);
         }
@@ -275,6 +339,9 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
   // and counters are *replayed* here single-threaded, so the merged
   // placement and every counter are independent of worker scheduling.
   Placement working = partition.base_placement;
+  // Waterfall snapshot A1: affinity already delivered by the trivial
+  // residents the partition kept in place.
+  const double base_affinity = GainedAffinity(cluster, working);
   std::vector<int> unplaced(cluster.num_services(), 0);
   int algorithm_failures[2] = {0, 0};
   auto breaker_open = [&](PoolAlgorithm algorithm) {
@@ -294,19 +361,40 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     report.algorithm = rec.primary;
     report.seconds = rec.seconds;
 
+    // Flight-recorder entry, filled as the replayed ladder decides each
+    // rung (never from the workers' advisory decisions, so the record
+    // sequence is scheduling-independent).
+    LedgerRecord lrec;
+    lrec.subproblem = idx;
+    lrec.position = position;
+    lrec.num_services = report.num_services;
+    lrec.num_machines = report.num_machines;
+    lrec.internal_affinity = sp.internal_affinity;
+    lrec.selector_policy = selector_.policy();
+    lrec.selected = rec.primary;
+    lrec.budget_seconds = rec.budget;
+    lrec.seconds = rec.seconds;
+
     // Rung 1: the selected algorithm.
     const SubproblemSolution* solution = nullptr;
     if (rec.primary_attempt.expired) {
       // Global budget was exhausted: no attempt, no counters (matches the
       // sequential ladder).
+      lrec.primary =
+          MakeAttempt(rec.primary, AttemptOutcome::kExpired, nullptr);
     } else if (breaker_open(rec.primary)) {
       ++result.breaker_skips;
+      lrec.primary = MakeAttempt(rec.primary, AttemptOutcome::kPruned, nullptr);
     } else if (rec.primary_attempt.result) {
       if (rec.primary_attempt.result->ok()) {
         solution = &rec.primary_attempt.result->value();
+        lrec.primary =
+            MakeAttempt(rec.primary, AttemptOutcome::kOk, &rec.primary_stats);
       } else {
         ++algorithm_failures[static_cast<int>(rec.primary)];
         ++result.solver_failures;
+        lrec.primary = MakeAttempt(rec.primary, AttemptOutcome::kFailed,
+                                   &rec.primary_stats);
       }
     } else {
       // Advisory-pruned: by construction the replayed breaker is open here
@@ -314,17 +402,29 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
       RASA_LOG(Warning) << "subproblem " << idx
                         << ": advisory prune without open breaker";
       ++result.breaker_skips;
+      lrec.primary = MakeAttempt(rec.primary, AttemptOutcome::kPruned, nullptr);
     }
 
     // Rung 2: the other pool algorithm.
     StatusOr<SubproblemSolution> repair =
         InternalError("secondary not attempted");
+    PoolAttemptStats repair_stats;
+    if (solution == nullptr && options_.try_secondary_algorithm &&
+        breaker_open(rec.secondary)) {
+      lrec.secondary =
+          MakeAttempt(rec.secondary, AttemptOutcome::kPruned, nullptr);
+    }
     if (solution == nullptr && options_.try_secondary_algorithm &&
         !breaker_open(rec.secondary)) {
       const StatusOr<SubproblemSolution>* secondary = nullptr;
+      const PoolAttemptStats* secondary_stats = nullptr;
       if (rec.secondary_considered) {
         if (rec.secondary_attempt.result) {
           secondary = &*rec.secondary_attempt.result;
+          secondary_stats = &rec.secondary_stats;
+        } else if (rec.secondary_attempt.expired) {
+          lrec.secondary =
+              MakeAttempt(rec.secondary, AttemptOutcome::kExpired, nullptr);
         }
         // expired / pruned: the sequential ladder would have skipped the
         // rung at this point too (pruned implies the breaker is open, which
@@ -337,8 +437,9 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         repair = RunPoolAlgorithm(
             rec.secondary, cluster, sp, partition.base_placement, current,
             deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed);
+            rec.secondary_seed, &repair_stats);
         secondary = &repair;
+        secondary_stats = &repair_stats;
       }
       if (secondary != nullptr) {
         if (secondary->ok()) {
@@ -349,13 +450,20 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
           solution = &secondary->value();
           report.used_secondary = true;
           ++result.secondary_successes;
+          lrec.secondary =
+              MakeAttempt(rec.secondary, AttemptOutcome::kOk, secondary_stats);
         } else {
           ++algorithm_failures[static_cast<int>(rec.secondary)];
           ++result.solver_failures;
+          lrec.secondary = MakeAttempt(rec.secondary, AttemptOutcome::kFailed,
+                                       secondary_stats);
         }
       }
     }
 
+    // Containers of this subproblem's services the merge could NOT keep on
+    // the subproblem's own machines (they go to the global fallback).
+    int sp_unplaced = 0;
     if (solution == nullptr) {
       report.failed = true;
       ++result.greedy_fallbacks;
@@ -373,6 +481,7 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
       }
       for (int s : sp.services) {
         unplaced[s] += cluster.service(s).demand - placed[s];
+        sp_unplaced += cluster.service(s).demand - placed[s];
       }
     } else {
       // Apply the assignments to the working placement; defensively skip
@@ -394,13 +503,34 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
       }
       for (int s : sp.services) {
         unplaced[s] += cluster.service(s).demand - placed[s];
+        sp_unplaced += cluster.service(s).demand - placed[s];
       }
       report.gained_affinity = solution->gained_affinity;
       report.unplaced_containers = solution->unplaced_containers;
     }
     result.subproblems.push_back(report);
+
+    lrec.used_secondary = report.used_secondary;
+    lrec.fell_to_greedy = report.failed;
+    lrec.ladder_rung = report.failed ? 2 : (report.used_secondary ? 1 : 0);
+    lrec.realized_affinity = report.gained_affinity;
+    lrec.unplaced_containers = sp_unplaced;
+    const SolveAttempt* winner =
+        report.failed ? nullptr
+                      : (report.used_secondary ? &lrec.secondary
+                                               : &lrec.primary);
+    const CertificateTerm term = MakeCertificateTerm(
+        idx, sp.internal_affinity, report.gained_affinity, sp_unplaced,
+        winner);
+    lrec.certificate_bound = term.bound;
+    lrec.bound_tightened = term.tightened;
+    result.report.certificate.terms.push_back(term);
+    result.report.records.push_back(std::move(lrec));
   }
   Tracer::Default().End(merge_id);
+
+  // Waterfall snapshot A2: what the subproblem solvers delivered at merge.
+  const double merged_affinity = GainedAffinity(cluster, working);
 
   // Combine: default-scheduler fallback for unplaced crucial containers.
   {
@@ -414,18 +544,71 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     }
   }
 
+  // Waterfall snapshot A3: after the default-scheduler fallback — the
+  // solver-phase value the quality certificate is anchored to.
+  const double fallback_affinity = GainedAffinity(cluster, working);
+
   // Optional extension: local-search refinement with the leftover budget.
+  LocalSearchStats ls_stats;
+  bool ls_ran = false;
   if (options_.refine_with_local_search && !deadline.Expired()) {
     const TraceSpan ls_span("local_search");
     LocalSearchOptions ls;
     ls.deadline = deadline;
     // Own stream, independent of how many solver seeds were drawn.
     ls.seed = Rng(options_.seed ^ kStreamSalt).Next();
-    RefinePlacement(cluster, working, ls);
+    ls_stats = RefinePlacement(cluster, working, ls);
+    ls_ran = true;
   }
 
   result.new_gained_affinity = GainedAffinity(cluster, working);
   result.moved_containers = working.DiffCount(current);
+
+  // Explain report: attribution waterfall, optimality-gap certificate, and
+  // placement diff (records and certificate terms were assembled by the
+  // merge). Observation-only — nothing below touches the placement.
+  {
+    ExplainReport& explain = result.report;
+    explain.populated = true;
+
+    double sum_internal = 0.0;
+    for (const Subproblem& sp : partition.subproblems) {
+      sum_internal += sp.internal_affinity;
+    }
+    const double total_weight = cluster.affinity().TotalWeight();
+    const double external = std::max(0.0, total_weight - sum_internal);
+
+    AttributionWaterfall& wf = explain.waterfall;
+    wf.base_retained = base_affinity;
+    wf.solver_gain = merged_affinity - base_affinity;
+    wf.fallback_delta = fallback_affinity - merged_affinity;
+    wf.local_search_delta = result.new_gained_affinity - fallback_affinity;
+    wf.total = result.new_gained_affinity;
+    wf.partition_cut_affinity = external;
+    wf.original_gained_affinity = result.original_gained_affinity;
+
+    QualityCertificate& cert = explain.certificate;
+    cert.achieved_solver_phase = fallback_affinity;
+    cert.achieved_final = result.new_gained_affinity;
+    cert.sum_internal_affinity = sum_internal;
+    cert.external_affinity = external;
+    double bound = external;
+    for (const CertificateTerm& term : cert.terms) {
+      bound += term.bound;
+      if (term.tightened) ++cert.tightened_terms;
+    }
+    cert.bound_solver_phase = bound;
+    cert.local_search_credit = std::max(0.0, wf.local_search_delta);
+    cert.bound_final = cert.bound_solver_phase + cert.local_search_credit;
+
+    explain.local_search_ran = ls_ran;
+    explain.local_search = ls_stats;
+    explain.diff = BuildPlacementDiff(cluster, current, working);
+
+    if (SolveLedgerEnabled()) {
+      SolveLedger::Default().AppendAll(explain.records);
+    }
+  }
 
   // Dry-run rule (§III-B): execute only on >= min_improvement relative gain.
   const double base = std::max(result.original_gained_affinity, 1e-9);

@@ -6,6 +6,7 @@
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "common/statusor.h"
+#include "core/explain.h"
 #include "core/migration.h"
 #include "core/partitioning.h"
 #include "core/selector.h"
@@ -86,6 +87,11 @@ struct RasaResult {
 
   PartitionStats partition_stats;
   std::vector<SubproblemReport> subproblems;
+
+  /// Flight-recorder records, optimality-gap certificate, attribution
+  /// waterfall, and placement diff of this run (see explain.h). Always
+  /// populated; strictly observation-only.
+  ExplainReport report;
 };
 
 /// The full RASA algorithm: multi-stage service partitioning, per-subproblem

@@ -1,0 +1,68 @@
+#include "core/solve_ledger.h"
+
+#include <atomic>
+
+namespace rasa {
+namespace {
+
+std::atomic<bool> g_ledger_enabled{true};
+
+}  // namespace
+
+const char* AttemptOutcomeToString(AttemptOutcome outcome) {
+  switch (outcome) {
+    case AttemptOutcome::kNotRun:
+      return "not_run";
+    case AttemptOutcome::kOk:
+      return "ok";
+    case AttemptOutcome::kFailed:
+      return "failed";
+    case AttemptOutcome::kExpired:
+      return "expired";
+    case AttemptOutcome::kPruned:
+      return "pruned";
+  }
+  return "unknown";
+}
+
+SolveLedger& SolveLedger::Default() {
+  // Leaked on purpose, like MetricRegistry: destruction order vs. worker
+  // threads at exit is otherwise unknowable.
+  static SolveLedger* ledger = new SolveLedger();
+  return *ledger;
+}
+
+void SolveLedger::Append(LedgerRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+void SolveLedger::AppendAll(const std::vector<LedgerRecord>& records) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+std::vector<LedgerRecord> SolveLedger::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+size_t SolveLedger::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void SolveLedger::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+void SetSolveLedgerEnabled(bool enabled) {
+  g_ledger_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool SolveLedgerEnabled() {
+  return g_ledger_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace rasa

@@ -88,6 +88,7 @@ class Simplex {
   std::vector<std::vector<double>> binv_;  // dense m x m basis inverse
 
   int iterations_ = 0;
+  int phase1_iterations_ = 0;  // pivots spent before phase 2 began
   int max_iterations_ = 0;
   bool use_bland_ = false;
   int stall_count_ = 0;
@@ -432,6 +433,8 @@ LpResult Simplex::ExtractResult(LpStatus status) {
   LpResult result;
   result.status = status;
   result.iterations = iterations_;
+  result.phase1_iterations = phase1_iterations_;
+  result.phase2_iterations = iterations_ - phase1_iterations_;
   RefreshBasicValues();
   result.primal.assign(n_struct_, 0.0);
   for (int v = 0; v < n_struct_; ++v) {
@@ -478,9 +481,11 @@ LpResult Simplex::Solve() {
   // Phase 1: drive artificials to zero.
   if (PhaseOneInfeasibility() > options_.tolerance) {
     LpStatus p1 = Iterate(/*phase_one=*/true);
+    phase1_iterations_ = iterations_;
     if (p1 == LpStatus::kDeadlineExceeded || p1 == LpStatus::kIterationLimit) {
       result.status = p1;
       result.iterations = iterations_;
+      result.phase1_iterations = phase1_iterations_;
       // Snapshot of the (possibly infeasible) point so callers always get a
       // primal of the right size; duals stay empty. Clamped to bounds.
       result.primal.assign(x_.begin(), x_.begin() + n_struct_);
@@ -501,6 +506,7 @@ LpResult Simplex::Solve() {
     if (PhaseOneInfeasibility() > options_.tolerance) {
       result.status = LpStatus::kInfeasible;
       result.iterations = iterations_;
+      result.phase1_iterations = phase1_iterations_;
       return result;
     }
   }

@@ -39,7 +39,12 @@ struct LpResult {
   std::vector<double> dual;
   /// Reduced cost per variable (model sense).
   std::vector<double> reduced_costs;
+  /// Total simplex pivots; always phase1_iterations + phase2_iterations.
   int iterations = 0;
+  /// Pivots spent driving artificials out (feasibility restoration).
+  int phase1_iterations = 0;
+  /// Pivots spent optimizing the real objective.
+  int phase2_iterations = 0;
 };
 
 /// Solves the LP relaxation of `model` with a bounded-variable two-phase

@@ -266,6 +266,10 @@ MipResult BranchAndBound::Solve() {
     }
 
     const double node_bound = lp.objective;
+    if (node->depth == 0 && !result.has_root_lp) {
+      result.root_lp_objective = node_bound;
+      result.has_root_lp = true;
+    }
     if (has_incumbent_ &&
         Score(node_bound) <= Score(incumbent_objective_) + 1e-9) {
       ApplyChanges(scratch, node->changes, /*undo=*/true);
@@ -327,7 +331,10 @@ MipResult BranchAndBound::Solve() {
           maximize_ ? std::max(bound, incumbent_objective_)
                     : std::min(bound, incumbent_objective_);
       if (!std::isfinite(result.best_bound)) {
+        // No node ever produced a finite dual bound; report the incumbent
+        // so gaps stay finite, but flag the bound as unproven.
         result.best_bound = incumbent_objective_;
+        result.bound_proven = false;
       }
       // Exhausting the tree without early stops proves optimality even if
       // the last nodes were pruned by bound.

@@ -47,6 +47,15 @@ struct MipResult {
   double objective = 0.0;
   /// Best proven bound on the optimum (model sense).
   double best_bound = 0.0;
+  /// False when the search stopped before any finite dual bound existed
+  /// (e.g. the root LP never finished): `best_bound` then degrades to the
+  /// incumbent objective for reporting and must NOT be used as a
+  /// certificate of optimality.
+  bool bound_proven = true;
+  /// Objective of the root LP relaxation (model sense); only meaningful
+  /// when `has_root_lp`. The classic gap reference for solver reports.
+  double root_lp_objective = 0.0;
+  bool has_root_lp = false;
   std::vector<double> solution;
   int nodes_explored = 0;
   int lp_iterations = 0;

@@ -165,6 +165,7 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
       ++report.solver_failures;
     } else {
       cr.predicted_affinity = optimized->new_gained_affinity;
+      cr.explain = optimized->report;
     }
 
     // 3) Reallocate per the migration plan (or dry-run).
@@ -244,6 +245,9 @@ StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
     if (!cr.executed && !cr.rolled_back) ++report.dry_runs;
 
     cr.affinity_after = GainedAffinity(cluster, live);
+    if (cr.executed) {
+      cr.migration_truncation = cr.predicted_affinity - cr.affinity_after;
+    }
     cr.seconds = timer.ElapsedSeconds();
     if (MetricsEnabled()) {
       cr.metrics = MetricRegistry::Default().Scrape();

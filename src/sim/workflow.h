@@ -78,6 +78,15 @@ struct CycleReport {
   int command_retries = 0;
   int replans = 0;
   double seconds = 0.0;
+  /// Affinity the optimizer predicted but execution did not deliver:
+  /// predicted_affinity - affinity_after, for executed cycles only (partial
+  /// executions, executor re-planning, and measurement noise all land
+  /// here). 0 for dry-runs and rollbacks.
+  double migration_truncation = 0.0;
+  /// The optimizer run's explain report (flight-recorder records, quality
+  /// certificate, attribution waterfall, placement diff — see explain.h).
+  /// Unpopulated when the optimizer failed.
+  ExplainReport explain;
   /// Scrape of the default metric registry taken at the end of the cycle
   /// (cumulative since process start — diff consecutive cycles for
   /// per-cycle deltas). Empty when metrics are disabled.

@@ -96,6 +96,64 @@ TEST(HistogramTest, ObserveAggregatesCountSumMinMax) {
   EXPECT_EQ(histogram.Scrape().count, 0u);
 }
 
+TEST(HistogramQuantileTest, EmptyIsNaNAndEndpointsAreExact) {
+  Histogram histogram;
+  EXPECT_TRUE(std::isnan(histogram.Scrape().Quantile(0.5)));
+
+  for (double v : {1.0, 2.0, 3.0, 40.0}) histogram.Observe(v);
+  const Histogram::Snapshot snap = histogram.Scrape();
+  // p0 == min and p100 == max exactly (clamped, not interpolated), and
+  // out-of-range q degrades to the endpoints.
+  EXPECT_EQ(snap.Quantile(0.0), 1.0);
+  EXPECT_EQ(snap.Quantile(1.0), 40.0);
+  EXPECT_EQ(snap.Quantile(-0.5), 1.0);
+  EXPECT_EQ(snap.Quantile(2.0), 40.0);
+}
+
+TEST(HistogramQuantileTest, SingleValueEveryQuantileIsThatValue) {
+  Histogram histogram;
+  histogram.Observe(5.0);
+  const Histogram::Snapshot snap = histogram.Scrape();
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.Quantile(q), 5.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantileTest, BimodalDistributionSplitsAtTheRank) {
+  // 50 observations at 1.0 and 50 at 1000.0: quantiles below the median
+  // clamp onto the low mode; above it they land in the high mode's bucket
+  // (within the log bucket's <= 2x relative error).
+  Histogram histogram;
+  for (int i = 0; i < 50; ++i) histogram.Observe(1.0);
+  for (int i = 0; i < 50; ++i) histogram.Observe(1000.0);
+  const Histogram::Snapshot snap = histogram.Scrape();
+  EXPECT_EQ(snap.Quantile(0.25), 1.0);
+  const double p75 = snap.Quantile(0.75);
+  EXPECT_GE(p75, 500.0);
+  EXPECT_LE(p75, 1000.0);
+}
+
+TEST(HistogramQuantileTest, MonotoneAndWithinLogBucketError) {
+  Histogram histogram;
+  for (int v = 1; v <= 100; ++v) histogram.Observe(static_cast<double>(v));
+  const Histogram::Snapshot snap = histogram.Scrape();
+  double previous = snap.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double value = snap.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    EXPECT_GE(value, snap.min);
+    EXPECT_LE(value, snap.max);
+    previous = value;
+  }
+  // Interior quantiles carry at most the bucket's 2x relative error.
+  const double p50 = snap.Quantile(0.5);
+  EXPECT_GE(p50, 25.0);
+  EXPECT_LE(p50, 101.0);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_GE(p99, 50.0);
+  EXPECT_LE(p99, 100.0);  // clamped to the observed max
+}
+
 // The shard-on-write invariant: after a parallel burst from a pool, the
 // scrape-side totals equal the number of observations — no lost updates,
 // and the per-shard bucket counts sum to the aggregate count.

@@ -1,0 +1,243 @@
+// The explain report of an Optimize run: the quality certificate must be a
+// genuine upper bound (achieved <= bound, across seeds and selector
+// policies), the attribution waterfall must sum exactly to the final
+// gained affinity, the flight-recorder records must mirror the subproblem
+// reports in canonical order, and the placement-diff audit must name the
+// right movers. Also covers the JSON and text renderings.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "cluster/generator.h"
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "core/explain.h"
+#include "core/objective.h"
+#include "core/rasa.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+ClusterSnapshot MakeCluster(uint64_t seed, double scale = 64.0) {
+  ClusterSpec spec = M1Spec(scale);
+  spec.seed = seed;
+  StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
+  RASA_CHECK(snapshot.ok()) << snapshot.status().ToString();
+  return std::move(snapshot).value();
+}
+
+RasaResult RunRasa(const ClusterSnapshot& snapshot, SelectorPolicy policy,
+                   uint64_t seed, bool local_search = false) {
+  RasaOptions options;
+  options.timeout_seconds = 10.0;
+  options.seed = seed;
+  options.compute_migration = false;
+  options.refine_with_local_search = local_search;
+  RasaOptimizer optimizer(options, AlgorithmSelector(policy));
+  StatusOr<RasaResult> result =
+      optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
+  RASA_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+void ExpectCertificateSound(const RasaResult& result) {
+  const QualityCertificate& cert = result.report.certificate;
+  constexpr double kEps = 1e-9;
+  EXPECT_LE(cert.achieved_solver_phase, cert.bound_solver_phase + kEps);
+  EXPECT_LE(cert.achieved_final, cert.bound_final + kEps);
+  EXPECT_DOUBLE_EQ(cert.achieved_final, result.new_gained_affinity);
+  EXPECT_GE(cert.Gap(), 0.0);
+  EXPECT_GE(cert.Ratio(), 0.0);
+  EXPECT_LE(cert.Ratio(), 1.0);
+  // The bound decomposes exactly into its published terms.
+  double sum_terms = 0.0;
+  int tightened = 0;
+  for (const CertificateTerm& term : cert.terms) {
+    EXPECT_LE(term.bound, term.internal_affinity + kEps);
+    EXPECT_GE(term.bound, 0.0);
+    if (term.tightened) {
+      ++tightened;
+      // Tightening requires a non-trivial solver bound, and that bound
+      // still covers what the subproblem realized.
+      EXPECT_NE(term.source, "trivial");
+      EXPECT_LE(term.realized, term.bound + kEps);
+    }
+    sum_terms += term.bound;
+  }
+  EXPECT_EQ(tightened, cert.tightened_terms);
+  EXPECT_NEAR(cert.bound_solver_phase, cert.external_affinity + sum_terms,
+              1e-9);
+  EXPECT_NEAR(cert.bound_final,
+              cert.bound_solver_phase + cert.local_search_credit, 1e-9);
+}
+
+TEST(ExplainTest, CertificateHoldsAcrossSeedsAndPolicies) {
+  for (const uint64_t cluster_seed : {3u, 11u}) {
+    const ClusterSnapshot snapshot = MakeCluster(cluster_seed);
+    for (const SelectorPolicy policy :
+         {SelectorPolicy::kHeuristic, SelectorPolicy::kAlwaysCg,
+          SelectorPolicy::kAlwaysMip}) {
+      for (const uint64_t seed : {1u, 42u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "cluster_seed=" << cluster_seed << " policy="
+                     << static_cast<int>(policy) << " seed=" << seed);
+        const RasaResult result = RunRasa(snapshot, policy, seed);
+        ASSERT_TRUE(result.report.populated);
+        ExpectCertificateSound(result);
+      }
+    }
+  }
+}
+
+TEST(ExplainTest, WaterfallSumsToFinalAffinity) {
+  const ClusterSnapshot snapshot = MakeCluster(7);
+  for (const bool local_search : {false, true}) {
+    SCOPED_TRACE(::testing::Message() << "local_search=" << local_search);
+    const RasaResult result =
+        RunRasa(snapshot, SelectorPolicy::kHeuristic, 9, local_search);
+    const AttributionWaterfall& w = result.report.waterfall;
+    EXPECT_NEAR(w.Sum(), w.total, 1e-6);
+    EXPECT_DOUBLE_EQ(w.total, result.new_gained_affinity);
+    EXPECT_DOUBLE_EQ(w.original_gained_affinity,
+                     result.original_gained_affinity);
+    EXPECT_GE(w.base_retained, 0.0);
+    if (!local_search) {
+      EXPECT_DOUBLE_EQ(w.local_search_delta, 0.0);
+    }
+    EXPECT_EQ(result.report.local_search_ran, local_search);
+  }
+}
+
+TEST(ExplainTest, RecordsMirrorSubproblemReportsInCanonicalOrder) {
+  const ClusterSnapshot snapshot = MakeCluster(13);
+  const RasaResult result = RunRasa(snapshot, SelectorPolicy::kHeuristic, 5);
+  ASSERT_EQ(result.report.records.size(), result.subproblems.size());
+  ASSERT_EQ(result.report.certificate.terms.size(),
+            result.subproblems.size());
+  double previous_affinity = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < result.report.records.size(); ++i) {
+    const LedgerRecord& rec = result.report.records[i];
+    const SubproblemReport& rep = result.subproblems[i];
+    EXPECT_EQ(rec.position, static_cast<int>(i));
+    EXPECT_EQ(rec.num_services, rep.num_services);
+    EXPECT_EQ(rec.num_machines, rep.num_machines);
+    EXPECT_DOUBLE_EQ(rec.internal_affinity, rep.internal_affinity);
+    EXPECT_DOUBLE_EQ(rec.realized_affinity, rep.gained_affinity);
+    EXPECT_EQ(rec.used_secondary, rep.used_secondary);
+    EXPECT_EQ(rec.fell_to_greedy, rep.failed);
+    EXPECT_EQ(rec.ladder_rung,
+              rep.failed ? 2 : (rep.used_secondary ? 1 : 0));
+    // Canonical solve order: non-increasing internal affinity.
+    EXPECT_LE(rec.internal_affinity, previous_affinity);
+    previous_affinity = rec.internal_affinity;
+    // A healthy primary attempt carries its solver introspection.
+    if (rec.primary.outcome == AttemptOutcome::kOk && !rec.used_secondary) {
+      EXPECT_TRUE(rec.primary.has_cg || rec.primary.has_mip);
+    }
+    EXPECT_DOUBLE_EQ(rec.certificate_bound,
+                     result.report.certificate.terms[i].bound);
+  }
+}
+
+TEST(ExplainTest, PlacementDiffNamesTheMovers) {
+  const ClusterSnapshot snapshot = MakeCluster(19, 96.0);
+  const Cluster& cluster = *snapshot.cluster;
+  const Placement& before = snapshot.original_placement;
+
+  // No move, no diff.
+  const PlacementDiffAudit same = BuildPlacementDiff(cluster, before, before);
+  EXPECT_EQ(same.moved_containers, 0);
+  EXPECT_TRUE(same.top_moved.empty());
+  EXPECT_TRUE(same.top_localized.empty());
+
+  // Relocate one container of the first service that has a feasible
+  // destination; the audit must name exactly that service.
+  Placement after = before;
+  int moved_service = -1;
+  for (int s = 0; s < cluster.num_services() && moved_service < 0; ++s) {
+    const auto machines = after.MachinesOf(s);
+    if (machines.empty()) continue;
+    const int from = machines.begin()->first;
+    for (int m = 0; m < cluster.num_machines(); ++m) {
+      if (m != from && after.CanPlace(m, s)) {
+        ASSERT_TRUE(after.Remove(from, s).ok());
+        after.Add(m, s);
+        moved_service = s;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(moved_service, 0) << "no movable container in the snapshot";
+
+  const PlacementDiffAudit diff = BuildPlacementDiff(cluster, before, after);
+  EXPECT_EQ(diff.moved_containers, before.DiffCount(after));
+  ASSERT_EQ(diff.top_moved.size(), 1u);
+  EXPECT_EQ(diff.top_moved[0].service, moved_service);
+  EXPECT_EQ(diff.top_moved[0].name, cluster.service(moved_service).name);
+  EXPECT_EQ(diff.top_moved[0].moved_containers, 1);
+  // Any reported localization delta must be consistent with the objective.
+  for (const auto& pair : diff.top_localized) {
+    EXPECT_NEAR(pair.delta_affinity,
+                pair.weight * (pair.ratio_after - pair.ratio_before), 1e-12);
+    EXPECT_NEAR(pair.ratio_before,
+                PairLocalizationRatio(cluster, before, pair.u, pair.v),
+                1e-12);
+    EXPECT_NEAR(pair.ratio_after,
+                PairLocalizationRatio(cluster, after, pair.u, pair.v),
+                1e-12);
+  }
+}
+
+TEST(ExplainTest, DiffAuditTruncatesToTopK) {
+  const ClusterSnapshot snapshot = MakeCluster(23);
+  const RasaResult result = RunRasa(snapshot, SelectorPolicy::kHeuristic, 3);
+  const PlacementDiffAudit& diff = result.report.diff;
+  EXPECT_LE(diff.top_moved.size(), 8u);
+  EXPECT_LE(diff.top_localized.size(), 8u);
+  // Descending order in both lists.
+  for (size_t i = 1; i < diff.top_moved.size(); ++i) {
+    EXPECT_GE(diff.top_moved[i - 1].moved_containers,
+              diff.top_moved[i].moved_containers);
+  }
+  for (size_t i = 1; i < diff.top_localized.size(); ++i) {
+    EXPECT_GE(diff.top_localized[i - 1].delta_affinity,
+              diff.top_localized[i].delta_affinity);
+  }
+  EXPECT_EQ(diff.moved_containers, result.moved_containers);
+}
+
+TEST(ExplainTest, JsonAndTextRenderings) {
+  const ClusterSnapshot snapshot = MakeCluster(29);
+  const RasaResult result = RunRasa(snapshot, SelectorPolicy::kHeuristic, 8);
+
+  JsonWriter writer;
+  AppendExplainJson(writer, result.report);
+  const std::string json = writer.str();
+  for (const char* key :
+       {"\"certificate\"", "\"waterfall\"", "\"diff\"", "\"records\"",
+        "\"bound_final\"", "\"achieved_final\"", "\"solver_gain\"",
+        "\"seconds\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // With timings excluded every wall-clock key disappears.
+  JsonWriter bare;
+  AppendExplainJson(bare, result.report, /*include_timings=*/false);
+  EXPECT_EQ(bare.str().find("\"seconds\""), std::string::npos);
+  EXPECT_EQ(bare.str().find("\"budget_seconds\""), std::string::npos);
+
+  const std::string text = FormatExplainReport(result.report);
+  for (const char* needle : {"certificate", "waterfall", "p50", "p95"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace rasa

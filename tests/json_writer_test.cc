@@ -1,0 +1,102 @@
+// The shared JSON plumbing under the metrics exporter, the bench result
+// writers, and the explain reports. Escaping must be exact: one bad byte
+// makes every downstream BENCH_*.json / --metrics-out file unparseable.
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/json_writer.h"
+#include "gtest/gtest.h"
+
+namespace rasa {
+namespace {
+
+TEST(JsonWriterEscapeTest, PassesPlainAsciiThrough) {
+  EXPECT_EQ(JsonWriter::Escaped("hello world_42.json"),
+            "hello world_42.json");
+  EXPECT_EQ(JsonWriter::Escaped(""), "");
+}
+
+TEST(JsonWriterEscapeTest, QuotesAndBackslashes) {
+  EXPECT_EQ(JsonWriter::Escaped("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonWriter::Escaped("C:\\temp\\x"), "C:\\\\temp\\\\x");
+  // A backslash followed by a quote must stay two separate escapes.
+  EXPECT_EQ(JsonWriter::Escaped("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonWriterEscapeTest, NamedControlCharacters) {
+  EXPECT_EQ(JsonWriter::Escaped("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonWriter::Escaped("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonWriter::Escaped("a\rb"), "a\\rb");
+}
+
+TEST(JsonWriterEscapeTest, OtherControlCharactersBecomeUnicodeEscapes) {
+  EXPECT_EQ(JsonWriter::Escaped(std::string("a\x01"
+                                            "b")),
+            "a\\u0001b");
+  EXPECT_EQ(JsonWriter::Escaped(std::string(1, '\x1f')), "\\u001f");
+  EXPECT_EQ(JsonWriter::Escaped(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(JsonWriter::Escaped("\b"), "\\u0008");
+  EXPECT_EQ(JsonWriter::Escaped("\f"), "\\u000c");
+}
+
+TEST(JsonWriterEscapeTest, NonAsciiBytesPassThroughVerbatim) {
+  // UTF-8 payloads (service names may carry them) are emitted as-is; JSON
+  // strings are UTF-8 by definition.
+  const std::string utf8 = "caf\xc3\xa9 \xe2\x9c\x93";
+  EXPECT_EQ(JsonWriter::Escaped(utf8), utf8);
+  // 0x7f (DEL) is not below 0x20 and passes through.
+  EXPECT_EQ(JsonWriter::Escaped("\x7f"), "\x7f");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesDegradeToNull) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("nan").Value(std::numeric_limits<double>::quiet_NaN());
+  w.Key("inf").Value(std::numeric_limits<double>::infinity());
+  w.Key("ninf").Value(-std::numeric_limits<double>::infinity());
+  w.Key("ok").Value(1.5);
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"nan\": null, \"inf\": null, \"ninf\": null, \"ok\": 1.5}");
+}
+
+TEST(JsonWriterTest, NestedStructureAndCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list").BeginArray();
+  w.Value(1).Value(2);
+  w.BeginObject().Key("k").Value("v").EndObject();
+  w.EndArray();
+  w.Key("flag").Value(true);
+  w.Key("none").Value(false);
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"list\": [1, 2, {\"k\": \"v\"}], \"flag\": true, "
+            "\"none\": false}");
+}
+
+TEST(JsonWriterTest, RoundTripPrecisionForDoubles) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Value(0.1);
+  w.Value(1.0 / 3.0);
+  w.EndArray();
+  // %.17g preserves every bit of a double.
+  double a = 0.0, b = 0.0;
+  ASSERT_EQ(std::sscanf(w.str().c_str(), "[%lf, %lf]", &a, &b), 2);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, EscapedKeysAndValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("weird\"key\n").Value("tab\there");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"weird\\\"key\\n\": \"tab\\there\"}");
+}
+
+}  // namespace
+}  // namespace rasa

@@ -102,6 +102,46 @@ TEST(SimplexTest, SolvesMinimizationWithEqualities) {
   EXPECT_NEAR(r.primal[y], 1.0, 1e-6);
 }
 
+TEST(SimplexTest, IterationsSplitIntoPhases) {
+  // The textbook model pivots in both phases (the solver starts from an
+  // all-artificial basis, so phase 1 works whenever b != 0) and the split
+  // must account for every pivot exactly.
+  LpModel easy;
+  easy.SetObjectiveSense(ObjectiveSense::kMaximize);
+  int x = easy.AddVariable(0, kLpInfinity, 3.0);
+  int y = easy.AddVariable(0, kLpInfinity, 5.0);
+  easy.AddConstraint(ConstraintType::kLessEqual, 4.0, {{x, 1.0}});
+  easy.AddConstraint(ConstraintType::kLessEqual, 12.0, {{y, 2.0}});
+  easy.AddConstraint(ConstraintType::kLessEqual, 18.0, {{x, 3.0}, {y, 2.0}});
+  LpResult r = SolveLp(easy);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_GE(r.phase1_iterations, 0);
+  EXPECT_GT(r.phase2_iterations, 0);
+  EXPECT_EQ(r.iterations, r.phase1_iterations + r.phase2_iterations);
+
+  // Equality rows always force a phase-1 feasibility search.
+  LpModel eq;
+  x = eq.AddVariable(0, kLpInfinity, 1.0);
+  y = eq.AddVariable(0, kLpInfinity, 2.0);
+  eq.AddConstraint(ConstraintType::kEqual, 3.0, {{x, 1.0}, {y, 1.0}});
+  eq.AddConstraint(ConstraintType::kEqual, 1.0, {{x, 1.0}, {y, -1.0}});
+  LpResult req = SolveLp(eq);
+  ASSERT_EQ(req.status, LpStatus::kOptimal);
+  EXPECT_GT(req.phase1_iterations, 0);
+  EXPECT_EQ(req.iterations, req.phase1_iterations + req.phase2_iterations);
+
+  // A model feasible at the origin (b == 0 rows only) needs no phase 1.
+  LpModel zero;
+  zero.SetObjectiveSense(ObjectiveSense::kMaximize);
+  x = zero.AddVariable(0, 2.0, 1.0);
+  y = zero.AddVariable(0, 2.0, 1.0);
+  zero.AddConstraint(ConstraintType::kLessEqual, 0.0, {{x, 1.0}, {y, -1.0}});
+  LpResult rz = SolveLp(zero);
+  ASSERT_EQ(rz.status, LpStatus::kOptimal);
+  EXPECT_EQ(rz.phase1_iterations, 0);
+  EXPECT_EQ(rz.iterations, rz.phase1_iterations + rz.phase2_iterations);
+}
+
 TEST(SimplexTest, GreaterEqualConstraints) {
   // min 2x + 3y st x + y >= 4, x >= 1 -> (4, 0) obj 8.
   LpModel m;
