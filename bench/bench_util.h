@@ -12,12 +12,12 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "cluster/generator.h"
+#include "common/durable_io.h"
 #include "common/json_writer.h"
 #include "common/logging.h"
 #include "common/strings.h"
@@ -115,26 +115,31 @@ class BenchJsonWriter {
   }
 
   /// Writes the file; called automatically on destruction (idempotent).
+  /// Crash-atomic (tmp + fsync + rename): a result file downstream tooling
+  /// sees is always complete, never a torn prefix.
   void Flush() {
     if (flushed_) return;
     flushed_ = true;
     const std::string path = Path();
-    std::ofstream out(path);
-    if (!out) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    std::string body = "[\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      body += "  {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) body += ", ";
+        body += "\"" + Escaped(rows_[r][f].first) +
+                "\": " + rows_[r][f].second;
+      }
+      body += "}";
+      if (r + 1 < rows_.size()) body += ",";
+      body += "\n";
+    }
+    body += "]\n";
+    const Status written = AtomicWriteFile(path, body);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench: cannot write %s: %s\n", path.c_str(),
+                   written.ToString().c_str());
       return;
     }
-    out << "[\n";
-    for (size_t r = 0; r < rows_.size(); ++r) {
-      out << "  {";
-      for (size_t f = 0; f < rows_[r].size(); ++f) {
-        if (f > 0) out << ", ";
-        out << "\"" << Escaped(rows_[r][f].first)
-            << "\": " << rows_[r][f].second;
-      }
-      out << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
     std::fprintf(stderr, "bench: wrote %s (%zu rows)\n", path.c_str(),
                  rows_.size());
   }

@@ -13,6 +13,14 @@
 //       Simulate the periodic CronJob workflow with the hardened migration
 //       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
 //       harness injects command failures / a mid-migration machine cordon.
+//       With --state-dir=DIR the loop is crash-safe: every cycle is
+//       checkpointed and migrations run under a write-ahead journal; adding
+//       --resume recovers an interrupted run (reconciling the journal
+//       against the durable state) and continues at the interrupted cycle.
+//   rasa_cli recover <state-dir>
+//       Inspect a durable state directory without resuming: checkpoint
+//       summary, journal records, and the applied / not-applied / torn
+//       classification of any in-flight migration commands.
 //   rasa_cli explain <in.snapshot> [cycles] [timeout_s]
 //       Run the workflow with noise-free measurement and print each
 //       cycle's explain report: per-subproblem solver records, the
@@ -37,13 +45,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
+#include <utility>
 
 #include "cluster/serialization.h"
+#include "common/durable_io.h"
 #include "common/json_writer.h"
 #include "common/metrics.h"
 #include "core/explain.h"
+#include "core/recovery.h"
 #include "core/objective.h"
 #include "core/rasa.h"
 #include "graph/powerlaw_fit.h"
@@ -64,11 +74,17 @@ int Usage() {
       "  rasa_cli workflow [flags] <in.snapshot> [cycles] [fail_prob] "
       "[cordon_after] [seed]\n"
       "  rasa_cli explain [flags] <in.snapshot> [cycles] [timeout_s]\n"
+      "  rasa_cli recover <state-dir>\n"
       "flags (optimize/workflow, anywhere on the line):\n"
       "  --threads N         solver worker threads (0 = hardware threads)\n"
       "  --metrics-out=FILE  write a JSON metrics/trace report after the "
       "run\n"
-      "  --trace             record + print the phase timeline\n");
+      "  --trace             record + print the phase timeline\n"
+      "flags (workflow only):\n"
+      "  --state-dir=DIR     durable checkpoints + migration write-ahead "
+      "journal in DIR\n"
+      "  --resume            recover + resume an interrupted run from "
+      "--state-dir\n");
   return 2;
 }
 
@@ -88,42 +104,41 @@ int ExtractThreads(int& argc, char** argv) {
   return threads;
 }
 
-// Extracts `--metrics-out=FILE` (or `--metrics-out FILE`) from argv and
-// returns FILE; empty when absent.
-std::string ExtractMetricsOut(int& argc, char** argv) {
-  constexpr const char* kFlag = "--metrics-out";
-  const size_t flag_len = std::strlen(kFlag);
-  std::string path;
+// Extracts `<flag>=VALUE` (or `<flag> VALUE`) from argv and returns VALUE;
+// empty when absent.
+std::string ExtractStringFlag(int& argc, char** argv, const char* flag) {
+  const size_t flag_len = std::strlen(flag);
+  std::string value;
   int out = 0;
   for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], kFlag, flag_len) == 0 &&
+    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
         argv[i][flag_len] == '=') {
-      path = argv[i] + flag_len + 1;
+      value = argv[i] + flag_len + 1;
       continue;
     }
-    if (std::strcmp(argv[i], kFlag) == 0 && i + 1 < argc) {
-      path = argv[++i];
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      value = argv[++i];
       continue;
     }
     argv[out++] = argv[i];
   }
   argc = out;
-  return path;
+  return value;
 }
 
-// Extracts the presence of `--trace` from argv.
-bool ExtractTrace(int& argc, char** argv) {
-  bool trace = false;
+// Extracts the presence of a bare `<flag>` from argv.
+bool ExtractBoolFlag(int& argc, char** argv, const char* flag) {
+  bool present = false;
   int out = 0;
   for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
-      trace = true;
+    if (std::strcmp(argv[i], flag) == 0) {
+      present = true;
       continue;
     }
     argv[out++] = argv[i];
   }
   argc = out;
-  return trace;
+  return present;
 }
 
 // Post-run observability output: writes the JSON report (registry scrape +
@@ -178,12 +193,13 @@ bool EmitObservability(const std::string& metrics_out, bool trace,
     Tracer::Default().AppendJson(w);
   }
   w.EndObject();
-  std::ofstream out(metrics_out);
-  if (!out) {
-    std::fprintf(stderr, "metrics: cannot write %s\n", metrics_out.c_str());
+  // Crash-atomic: a report file is either absent or complete, never torn.
+  const Status written = AtomicWriteFile(metrics_out, w.str() + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "metrics: cannot write %s: %s\n", metrics_out.c_str(),
+                 written.ToString().c_str());
     return false;
   }
-  out << w.str() << "\n";
   std::fprintf(stderr, "metrics: wrote %s\n", metrics_out.c_str());
   return true;
 }
@@ -294,7 +310,8 @@ int Optimize(int argc, char** argv, int threads,
 }
 
 int Workflow(int argc, char** argv, int threads,
-             const std::string& metrics_out, bool trace) {
+             const std::string& metrics_out, bool trace,
+             const std::string& state_dir, bool resume) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -311,25 +328,73 @@ int Workflow(int argc, char** argv, int threads,
   options.faults.command_failure_probability = fail_prob;
   options.faults.cordon_after_commands = cordon_after;
   options.faults.seed = options.seed + 1;
+  options.state_dir = state_dir;
+  options.resume = resume;
+
+  // The simulated cluster cannot be queried after a crash, so a resumed run
+  // reconstructs the placement a restarted controller would observe from
+  // the durable state (checkpoint + committed journal batches).
+  Placement initial = snapshot->original_placement;
+  if (resume) {
+    if (state_dir.empty()) {
+      std::fprintf(stderr, "workflow: --resume requires --state-dir\n");
+      return 2;
+    }
+    StatusOr<RecoveryAnalysis> analysis = AnalyzeWorkflowState(state_dir);
+    if (!analysis.ok()) {
+      std::fprintf(stderr, "workflow: recovery analysis failed: %s\n",
+                   analysis.status().ToString().c_str());
+      return 1;
+    }
+    StatusOr<Placement> observed = ReconstructObservedPlacement(*analysis);
+    if (!observed.ok()) {
+      std::fprintf(stderr, "workflow: cannot reconstruct placement: %s\n",
+                   observed.status().ToString().c_str());
+      return 1;
+    }
+    initial = std::move(observed).value();
+  }
 
   StatusOr<WorkflowReport> report =
-      RunWorkflow(*snapshot->cluster, snapshot->original_placement,
+      RunWorkflow(*snapshot->cluster, initial,
                   AlgorithmSelector(SelectorPolicy::kHeuristic), options);
   if (!report.ok()) {
     std::fprintf(stderr, "workflow: %s\n", report.status().ToString().c_str());
     return 1;
   }
+  if (report->resumed_cycle >= 0) {
+    const RecoveryStats& rec = report->recovery;
+    std::printf(
+        "recovery: resumed at cycle %d%s%s; commands %d applied pre-crash, "
+        "%d not applied, %d torn; rolled forward %d commands / %d batches / "
+        "%d drift moves; %d phases abandoned; %d cycles completed from "
+        "journal\n",
+        report->resumed_cycle,
+        rec.used_previous_checkpoint ? " (previous checkpoint)" : "",
+        rec.journal_torn_tail ? " (journal tail torn)" : "",
+        rec.commands_applied_pre_crash, rec.commands_not_applied,
+        rec.commands_torn, rec.commands_rolled_forward,
+        rec.batches_rolled_forward, rec.drift_moves_rolled_forward,
+        rec.phases_abandoned, rec.cycles_completed_from_journal);
+  }
+  // A resumed run's report covers cycles resumed_cycle..; print absolute
+  // cycle indices so consecutive runs line up.
+  const size_t first_cycle =
+      report->resumed_cycle > 0 ? static_cast<size_t>(report->resumed_cycle)
+                                : 0;
   for (size_t c = 0; c < report->cycles.size(); ++c) {
     const CycleReport& cr = report->cycles[c];
     std::printf(
         "cycle %2zu: affinity %.4f -> %.4f%s%s, %d moved, %d batches, "
         "%d cmd failures, %d retries, %d replans (%.2fs)\n",
-        c, cr.affinity_before, cr.affinity_after,
+        first_cycle + c, cr.affinity_before, cr.affinity_after,
         cr.executed ? (cr.reached_target ? " [executed]" : " [partial]")
                     : (cr.rolled_back ? " [rolled back]" : " [dry-run]"),
-        cr.solver_failed ? " [solver failed]" : "", cr.moved_containers,
-        cr.migration_batches, cr.commands_failed, cr.command_retries,
-        cr.replans, cr.seconds);
+        cr.solver_failed
+            ? " [solver failed]"
+            : (cr.recovered ? " [recovered]" : ""),
+        cr.moved_containers, cr.migration_batches, cr.commands_failed,
+        cr.command_retries, cr.replans, cr.seconds);
   }
   std::printf(
       "totals: %d executions (%d partial), %d dry-runs, %d rollbacks, "
@@ -346,6 +411,19 @@ int Workflow(int argc, char** argv, int threads,
               report->final_placement.CheckFeasible(true).ok() ? "yes" : "no");
   if (!EmitObservability(metrics_out, trace, &*report)) return 1;
   return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
+}
+
+// Inspects a durable state directory without resuming anything.
+int Recover(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  StatusOr<std::string> inspection = FormatRecoveryInspection(argv[2]);
+  if (!inspection.ok()) {
+    std::fprintf(stderr, "recover: %s\n",
+                 inspection.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(inspection->c_str(), stdout);
+  return 0;
 }
 
 // Runs the workflow with noise-free measurement and prints each cycle's
@@ -400,8 +478,11 @@ int Explain(int argc, char** argv, int threads,
 
 int main(int argc, char** argv) {
   const int threads = ExtractThreads(argc, argv);
-  const std::string metrics_out = ExtractMetricsOut(argc, argv);
-  const bool trace = ExtractTrace(argc, argv);
+  const std::string metrics_out =
+      ExtractStringFlag(argc, argv, "--metrics-out");
+  const bool trace = ExtractBoolFlag(argc, argv, "--trace");
+  const std::string state_dir = ExtractStringFlag(argc, argv, "--state-dir");
+  const bool resume = ExtractBoolFlag(argc, argv, "--resume");
   if (trace) rasa::Tracer::Default().Enable(true);
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
@@ -410,10 +491,12 @@ int main(int argc, char** argv) {
     return Optimize(argc, argv, threads, metrics_out, trace);
   }
   if (std::strcmp(argv[1], "workflow") == 0) {
-    return Workflow(argc, argv, threads, metrics_out, trace);
+    return Workflow(argc, argv, threads, metrics_out, trace, state_dir,
+                    resume);
   }
   if (std::strcmp(argv[1], "explain") == 0) {
     return Explain(argc, argv, threads, metrics_out, trace);
   }
+  if (std::strcmp(argv[1], "recover") == 0) return Recover(argc, argv);
   return Usage();
 }

@@ -3,15 +3,20 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <fstream>
+#include <cstdlib>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/strings.h"
 
 namespace rasa {
 namespace {
 
-constexpr char kMagic[] = "rasa-snapshot-v1";
+// v2 appends a mandatory CRC-32 footer ("checksum <hex8>" after "end") so a
+// truncated or bit-rotted file is rejected instead of silently parsing; v1
+// files (no footer) are still accepted for backward compatibility.
+constexpr char kMagic[] = "rasa-snapshot-v2";
+constexpr char kMagicV1[] = "rasa-snapshot-v1";
 
 // Hard caps on header-declared counts. A corrupt or hostile header must not
 // be able to drive a multi-gigabyte allocation (or an int overflow) before
@@ -78,15 +83,20 @@ std::string SerializeSnapshot(const ClusterSnapshot& snapshot) {
     }
   }
   os << "end\n";
-  return os.str();
+  // CRC-32 of everything above, emitted as exactly 8 hex digits. Any strict
+  // byte prefix of the serialized form fails to verify.
+  std::string body = os.str();
+  body += StrFormat("checksum %08x\n", Crc32(body));
+  return body;
 }
 
 StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
   std::istringstream is(text);
   std::string token;
-  if (!(is >> token) || token != kMagic) {
+  if (!(is >> token) || (token != kMagic && token != kMagicV1)) {
     return InvalidArgumentError("bad snapshot header");
   }
+  const bool checksummed = token == kMagic;
   auto expect = [&](const char* keyword) -> Status {
     if (!(is >> token) || token != keyword) {
       return InvalidArgumentError(
@@ -228,24 +238,55 @@ StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text) {
     snapshot.original_placement.Add(m, s, count);
   }
   RASA_RETURN_IF_ERROR(expect("end"));
+  if (checksummed) {
+    // The footer covers every byte through the "end" line, so the CRC must
+    // be computed over the raw text, not the parsed token stream.
+    const std::streamoff body_end = is.tellg();
+    if (body_end < 0 || static_cast<size_t>(body_end) >= text.size() ||
+        text[static_cast<size_t>(body_end)] != '\n') {
+      return InvalidArgumentError("truncated snapshot footer");
+    }
+    std::string crc_token;
+    if (!(is >> token) || token != "checksum" || !(is >> crc_token)) {
+      return InvalidArgumentError("missing snapshot checksum footer");
+    }
+    if (crc_token.size() != 8 ||
+        crc_token.find_first_not_of("0123456789abcdef") != std::string::npos) {
+      return InvalidArgumentError("torn snapshot checksum");
+    }
+    // The footer line itself must be complete — newline-terminated with
+    // nothing after it. Otherwise a write cut one byte short of the end
+    // would still parse.
+    const size_t footer_end = static_cast<size_t>(body_end) + 1 +
+                              std::string("checksum ").size() +
+                              crc_token.size() + 1;
+    if (text.size() != footer_end || text.back() != '\n') {
+      return InvalidArgumentError("torn snapshot checksum footer");
+    }
+    const uint32_t declared =
+        static_cast<uint32_t>(std::strtoul(crc_token.c_str(), nullptr, 16));
+    const uint32_t actual =
+        Crc32(text.data(), static_cast<size_t>(body_end) + 1);
+    if (actual != declared) {
+      return InvalidArgumentError(
+          StrFormat("snapshot checksum mismatch (stored %08x, computed %08x)",
+                    declared, actual));
+    }
+  }
   return snapshot;
 }
 
 Status SaveSnapshotToFile(const ClusterSnapshot& snapshot,
                           const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return InternalError(StrFormat("cannot open %s", path.c_str()));
-  out << SerializeSnapshot(snapshot);
-  return out.good() ? Status::OK()
-                    : InternalError(StrFormat("write failed: %s", path.c_str()));
+  // tmp + fsync + rename: a crash mid-save never leaves a half-written
+  // snapshot observable at `path`.
+  return AtomicWriteFile(path, SerializeSnapshot(snapshot));
 }
 
 StatusOr<ClusterSnapshot> LoadSnapshotFromFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return NotFoundError(StrFormat("cannot open %s", path.c_str()));
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeSnapshot(buffer.str());
+  StatusOr<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return DeserializeSnapshot(*text);
 }
 
 }  // namespace rasa

@@ -10,15 +10,19 @@ namespace rasa {
 
 /// Serializes a cluster snapshot (cluster + placement) into a line-oriented,
 /// human-diffable text format — the persistent form of the Data Collector's
-/// output (§III-A). Stable across versions via a header tag.
+/// output (§III-A). Stable across versions via a header tag; v2 ends in a
+/// CRC-32 footer so truncation or bit rot is detected on load.
 std::string SerializeSnapshot(const ClusterSnapshot& snapshot);
 
 /// Parses a snapshot produced by SerializeSnapshot. Validates the cluster
 /// and the placement's structural integrity (counts within machine range,
 /// no unknown services) but intentionally does NOT require feasibility —
-/// collected production states may be transiently over-committed.
+/// collected production states may be transiently over-committed. v2 input
+/// additionally has its checksum footer verified: any truncated or corrupt
+/// byte stream yields a clear kInvalidArgument, never a crash.
 StatusOr<ClusterSnapshot> DeserializeSnapshot(const std::string& text);
 
+/// Crash-atomic save (tmp + fsync + rename via common/durable_io).
 Status SaveSnapshotToFile(const ClusterSnapshot& snapshot,
                           const std::string& path);
 StatusOr<ClusterSnapshot> LoadSnapshotFromFile(const std::string& path);

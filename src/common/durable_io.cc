@@ -1,0 +1,280 @@
+#include "common/durable_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace rasa {
+namespace {
+
+constexpr char kVersionedMagic[] = "rasa-durable-v1";
+constexpr char kRecordMagic[] = "@rec";
+
+// Table-driven CRC-32 (IEEE 802.3 polynomial, reflected form 0xedb88320).
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+Status Errno(const char* op, const std::string& path) {
+  return InternalError(
+      StrFormat("%s %s: %s", op, path.c_str(), std::strerror(errno)));
+}
+
+// fsyncs the directory containing `path` so the rename itself is durable.
+// Best-effort: some filesystems reject O_RDONLY on directories.
+void FsyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+Status WriteAllAndFsync(int fd, const std::string& contents,
+                        const std::string& path) {
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + written,
+                              contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) return Errno("fsync", path);
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(const std::string& data, uint32_t seed) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return NotFoundError(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status st = WriteAllAndFsync(fd, contents, tmp);
+  if (::close(fd) != 0 && st.ok()) st = Errno("close", tmp);
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rename_st = Errno("rename", tmp);
+    ::unlink(tmp.c_str());
+    return rename_st;
+  }
+  FsyncParentDir(path);
+  return Status::OK();
+}
+
+Status EnsureDirectory(const std::string& dir) {
+  if (dir.empty()) return InvalidArgumentError("empty directory path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= dir.size()) {
+    const size_t slash = dir.find('/', pos);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    pos = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Status WriteVersionedFile(const std::string& path,
+                          const std::string& payload) {
+  const std::string framed =
+      StrFormat("%s %zu %08x\n", kVersionedMagic, payload.size(),
+                Crc32(payload)) +
+      payload;
+  return AtomicWriteFile(path, framed);
+}
+
+StatusOr<std::string> ReadVersionedFile(const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& text = *contents;
+  const size_t newline = text.find('\n');
+  if (newline == std::string::npos) {
+    return FailedPreconditionError(
+        StrFormat("%s: torn header (no newline)", path.c_str()));
+  }
+  const std::string header = text.substr(0, newline);
+  char magic[32];
+  size_t declared_len = 0;
+  unsigned declared_crc = 0;
+  char crc_text[16];
+  if (std::sscanf(header.c_str(), "%31s %zu %15s", magic, &declared_len,
+                  crc_text) != 3 ||
+      std::strcmp(magic, kVersionedMagic) != 0) {
+    return FailedPreconditionError(
+        StrFormat("%s: bad durable-file header", path.c_str()));
+  }
+  if (std::strlen(crc_text) != 8 ||
+      std::sscanf(crc_text, "%8x", &declared_crc) != 1) {
+    return FailedPreconditionError(
+        StrFormat("%s: torn checksum field", path.c_str()));
+  }
+  const std::string payload = text.substr(newline + 1);
+  if (payload.size() != declared_len) {
+    return FailedPreconditionError(
+        StrFormat("%s: torn payload (%zu of %zu bytes)", path.c_str(),
+                  payload.size(), declared_len));
+  }
+  if (Crc32(payload) != declared_crc) {
+    return FailedPreconditionError(
+        StrFormat("%s: checksum mismatch", path.c_str()));
+  }
+  return payload;
+}
+
+DurableLogWriter::DurableLogWriter(DurableLogWriter&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+DurableLogWriter& DurableLogWriter::operator=(
+    DurableLogWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+DurableLogWriter::~DurableLogWriter() { Close(); }
+
+void DurableLogWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<DurableLogWriter> DurableLogWriter::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  DurableLogWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  return writer;
+}
+
+Status DurableLogWriter::Append(const std::string& payload) {
+  if (fd_ < 0) return FailedPreconditionError("journal is not open");
+  const std::string frame =
+      StrFormat("%s %zu %08x\n", kRecordMagic, payload.size(),
+                Crc32(payload)) +
+      payload + "\n";
+  return WriteAllAndFsync(fd_, frame, path_);
+}
+
+StatusOr<DurableLogContents> ReadDurableLog(const std::string& path) {
+  StatusOr<std::string> contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  const std::string& text = *contents;
+  DurableLogContents out;
+  size_t pos = 0;
+  auto torn = [&](std::string reason) {
+    out.torn_tail = true;
+    out.torn_reason = std::move(reason);
+    out.valid_bytes = pos;
+    return out;
+  };
+  while (pos < text.size()) {
+    const size_t newline = text.find('\n', pos);
+    if (newline == std::string::npos) return torn("truncated record header");
+    const std::string header = text.substr(pos, newline - pos);
+    char magic[16];
+    size_t len = 0;
+    char crc_text[16];
+    unsigned crc = 0;
+    if (std::sscanf(header.c_str(), "%15s %zu %15s", magic, &len, crc_text) !=
+            3 ||
+        std::strcmp(magic, kRecordMagic) != 0) {
+      return torn("bad record header");
+    }
+    if (std::strlen(crc_text) != 8 || std::sscanf(crc_text, "%8x", &crc) != 1) {
+      return torn("torn record checksum field");
+    }
+    const size_t payload_start = newline + 1;
+    // Payload plus the trailing newline must be fully present.
+    if (payload_start + len + 1 > text.size()) {
+      return torn("truncated record payload");
+    }
+    const std::string payload = text.substr(payload_start, len);
+    if (text[payload_start + len] != '\n') {
+      return torn("missing record terminator");
+    }
+    if (Crc32(payload) != crc) return torn("record checksum mismatch");
+    out.records.push_back(payload);
+    pos = payload_start + len + 1;
+  }
+  out.valid_bytes = pos;
+  return out;
+}
+
+}  // namespace rasa

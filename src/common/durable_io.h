@@ -1,0 +1,101 @@
+#ifndef RASA_COMMON_DURABLE_IO_H_
+#define RASA_COMMON_DURABLE_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace rasa {
+
+/// Crash-atomic file primitives shared by the snapshot serializer, the
+/// workflow checkpointer, the migration write-ahead journal, and the
+/// metrics/bench JSON writers (see DESIGN.md "Durability & recovery").
+///
+/// Two durable shapes are provided:
+///   - versioned single-record files (checkpoints, snapshots): written via
+///     tmp + fsync + rename so a crash never leaves a half-written file
+///     observable at the target path, framed with a magic, a length, and a
+///     CRC-32 so a torn write (truncation, bit rot) is detected on read;
+///   - append-only logs (the migration journal): each record is framed with
+///     a length + CRC-32 header and fsync'd on append, so the reader can
+///     classify a trailing partial record as torn and recover every record
+///     before it.
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`. `seed` chains incremental
+/// computations: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+uint32_t Crc32(const std::string& data, uint32_t seed = 0);
+
+/// Reads the whole file into a string. kNotFound when it cannot be opened.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path` crash-atomically: the bytes land in
+/// `path.tmp`, are fsync'd, and are renamed over `path` (with a directory
+/// fsync), so readers observe either the old file or the complete new one —
+/// never a prefix.
+Status AtomicWriteFile(const std::string& path, const std::string& contents);
+
+/// Creates `dir` (and missing parents) if absent.
+Status EnsureDirectory(const std::string& dir);
+
+/// Writes `payload` as a versioned, checksummed record file (atomically).
+/// The frame is `rasa-durable-v1 <len> <crc32-hex8>\n<payload>`.
+Status WriteVersionedFile(const std::string& path, const std::string& payload);
+
+/// Reads a file written by WriteVersionedFile, verifying the magic, the
+/// declared length, and the CRC. Truncated or corrupt files return
+/// kFailedPrecondition (torn write) with a precise reason; a missing file
+/// returns kNotFound. Never crashes on hostile input.
+StatusOr<std::string> ReadVersionedFile(const std::string& path);
+
+/// Append-only, CRC-framed record log. Each Append writes one frame
+/// `@rec <len> <crc32-hex8>\n<payload>\n` and fsyncs before returning, so
+/// an acknowledged record survives a crash and a torn trailing frame is
+/// detectable. One writer at a time; records are opaque byte strings.
+class DurableLogWriter {
+ public:
+  DurableLogWriter() = default;
+  DurableLogWriter(DurableLogWriter&& other) noexcept;
+  DurableLogWriter& operator=(DurableLogWriter&& other) noexcept;
+  DurableLogWriter(const DurableLogWriter&) = delete;
+  DurableLogWriter& operator=(const DurableLogWriter&) = delete;
+  ~DurableLogWriter();
+
+  /// Opens `path` for appending (creating it if absent).
+  static StatusOr<DurableLogWriter> Open(const std::string& path);
+
+  /// Appends one framed record and fsyncs the file.
+  Status Append(const std::string& payload);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Result of scanning a durable log: every intact record in order, plus
+/// whether the file ended in a torn (truncated or corrupt) frame.
+struct DurableLogContents {
+  std::vector<std::string> records;
+  /// Bytes of the longest valid prefix (where the torn frame starts).
+  size_t valid_bytes = 0;
+  bool torn_tail = false;
+  std::string torn_reason;  // empty unless torn_tail
+};
+
+/// Reads all intact records of a log written by DurableLogWriter. A torn
+/// tail is reported, not an error — crash recovery treats it as "the last
+/// append never happened". kNotFound when the file cannot be opened.
+StatusOr<DurableLogContents> ReadDurableLog(const std::string& path);
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_DURABLE_IO_H_

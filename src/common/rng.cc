@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
 namespace rasa {
 namespace {
@@ -95,6 +97,34 @@ std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
 
 Rng Rng::Fork(uint64_t stream) {
   return Rng(Next() ^ (stream * 0x9e3779b97f4a7c15ULL + 0x2545F4914F6CDD1DULL));
+}
+
+std::string Rng::SerializeState() const {
+  char buf[4 * 16 + 1];
+  for (int i = 0; i < 4; ++i) {
+    std::snprintf(buf + i * 16, 17, "%016llx",
+                  static_cast<unsigned long long>(s_[i]));
+  }
+  return std::string(buf, 64);
+}
+
+Status Rng::RestoreState(const std::string& text) {
+  if (text.size() != 64) {
+    return InvalidArgumentError("rng state must be 64 hex chars");
+  }
+  uint64_t words[4];
+  for (int i = 0; i < 4; ++i) {
+    unsigned long long w = 0;
+    char* end = nullptr;
+    const std::string part = text.substr(i * 16, 16);
+    w = std::strtoull(part.c_str(), &end, 16);
+    if (end != part.c_str() + 16) {
+      return InvalidArgumentError("malformed rng state");
+    }
+    words[i] = w;
+  }
+  for (int i = 0; i < 4; ++i) s_[i] = words[i];
+  return Status::OK();
 }
 
 }  // namespace rasa

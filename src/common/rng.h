@@ -3,8 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "common/status.h"
 
 namespace rasa {
 
@@ -57,6 +60,15 @@ class Rng {
   /// Forks a child generator with an independent stream; deterministic in
   /// (parent state, stream id).
   Rng Fork(uint64_t stream);
+
+  /// Raw generator state as 16 lowercase hex words (64 chars), for durable
+  /// checkpoints: a generator restored from this string continues the exact
+  /// draw sequence of the original.
+  std::string SerializeState() const;
+
+  /// Restores state written by SerializeState. kInvalidArgument on
+  /// malformed input (state unchanged).
+  Status RestoreState(const std::string& text);
 
  private:
   uint64_t s_[4];

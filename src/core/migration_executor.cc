@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "core/recovery.h"
 
 namespace rasa {
 
@@ -233,6 +234,24 @@ void ExecutePass(const Cluster& cluster, Placement& live,
   for (const std::vector<MigrationCommand>& batch : plan.batches) {
     TraceSpan batch_span("migration_batch");
     batch_size_metric.Observe(static_cast<double>(batch.size()));
+    // WAL intent: the batch's exact commands are durable before the first
+    // one touches the cluster, so recovery can classify each as
+    // applied / not-applied against the observed placement.
+    const int ordinal = options.journal_first_batch + report.batches_executed;
+    if (options.journal != nullptr) {
+      JournalRecord intent;
+      intent.type = JournalRecordType::kBatchIntent;
+      intent.cycle = options.journal_cycle;
+      intent.batch = ordinal;
+      intent.commands = batch;
+      const Status appended = options.journal->Append(intent);
+      if (!appended.ok()) {
+        RASA_LOG(Warning) << "journal intent append failed: "
+                          << appended.ToString();
+        report.crashed = true;
+        return;
+      }
+    }
     bool incomplete = false;
     for (const MigrationCommand& cmd : batch) {
       if (options.deadline.Expired()) return;
@@ -270,6 +289,10 @@ void ExecutePass(const Cluster& cluster, Placement& live,
       ++report.commands_attempted;
       if (status.ok()) {
         ++report.commands_succeeded;
+        if (options.crash_after_command && options.crash_after_command()) {
+          report.crashed = true;
+          return;
+        }
       } else {
         ++report.commands_failed;
         incomplete = true;
@@ -278,6 +301,23 @@ void ExecutePass(const Cluster& cluster, Placement& live,
     ++report.batches_executed;
     if (incomplete) ++report.partial_batches;
     AuditPartialStep(cluster, live, options.min_alive_fraction, report);
+    if (options.crash_after_batch && options.crash_after_batch()) {
+      report.crashed = true;  // died after applying, before the commit
+      return;
+    }
+    if (options.journal != nullptr) {
+      JournalRecord commit;
+      commit.type = JournalRecordType::kBatchCommit;
+      commit.cycle = options.journal_cycle;
+      commit.batch = ordinal;
+      const Status appended = options.journal->Append(commit);
+      if (!appended.ok()) {
+        RASA_LOG(Warning) << "journal commit append failed: "
+                          << appended.ToString();
+        report.crashed = true;
+        return;
+      }
+    }
   }
 }
 
@@ -297,6 +337,7 @@ MigrationExecutionReport ExecuteMigration(const Cluster& cluster,
   MigrationPlan replanned;
   for (int round = 0;; ++round) {
     ExecutePass(cluster, live, *current_plan, actions, options, rng, report);
+    if (report.crashed) return report;  // stopped dead: no metrics, no audit
     if (SymmetricDiff(live, desired) == 0) {
       report.reached_target = true;
       break;

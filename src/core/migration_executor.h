@@ -1,6 +1,8 @@
 #ifndef RASA_CORE_MIGRATION_EXECUTOR_H_
 #define RASA_CORE_MIGRATION_EXECUTOR_H_
 
+#include <functional>
+
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "common/retry.h"
@@ -9,6 +11,8 @@
 #include "core/migration.h"
 
 namespace rasa {
+
+class WorkflowJournal;  // core/recovery.h
 
 /// The executor's boundary to the live cluster: one container operation at a
 /// time. Real deployments talk to the container orchestrator here; the
@@ -58,6 +62,24 @@ struct MigrationExecutorOptions {
   /// Seed for backoff jitter; fixed seed + fault-free actions is fully
   /// deterministic.
   uint64_t seed = 17;
+  /// Migration write-ahead journal (core/recovery.h). When set, every batch
+  /// gets an intent record carrying its exact commands appended and fsync'd
+  /// before the first command touches the cluster, and a commit record
+  /// after the post-batch audit — recovery replays these to classify every
+  /// in-flight command as applied / not-applied / torn. A failed journal
+  /// append stops execution dead (acting without a durable intent would
+  /// make the run unrecoverable).
+  WorkflowJournal* journal = nullptr;
+  /// Cycle number stamped on journal records.
+  int journal_cycle = 0;
+  /// Ordinal of the first batch this invocation executes (a resumed cycle
+  /// continues numbering where the interrupted run stopped).
+  int journal_first_batch = 0;
+  /// Test-only simulated kill -9: consulted after every applied command and
+  /// after every audited batch (before its commit record lands). Returning
+  /// true stops execution dead — no cleanup, no further journal records.
+  std::function<bool()> crash_after_command;
+  std::function<bool()> crash_after_batch;
 };
 
 struct MigrationExecutionReport {
@@ -90,6 +112,10 @@ struct MigrationExecutionReport {
   bool reached_target = false;
   /// Containers still differing from the adjusted target on return.
   int residual_diff = 0;
+  /// Execution stopped dead mid-flight (simulated crash, or a journal
+  /// append failure): the live placement is whatever the commands applied
+  /// so far left behind, and no completion records were written.
+  bool crashed = false;
 };
 
 /// Executes `plan` command-by-command against `actions`, mutating nothing

@@ -1,5 +1,11 @@
 #include "sim/fault_injection.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
 #include "common/strings.h"
 
 namespace rasa {
@@ -55,6 +61,64 @@ bool FaultInjector::DrawSolverExhaustion() {
 bool FaultInjector::DrawOptimizerFailure() {
   return options_.optimizer_failure_probability > 0.0 &&
          rng_.NextBool(options_.optimizer_failure_probability);
+}
+
+bool FaultInjector::CrashOnCommandApplied() {
+  if (crash_fired_) return false;
+  ++commands_applied_;
+  if (options_.crash_after_commands > 0 &&
+      commands_applied_ >= options_.crash_after_commands) {
+    crash_fired_ = true;
+  }
+  return crash_fired_;
+}
+
+bool FaultInjector::CrashOnBatchComplete() {
+  if (crash_fired_) return false;
+  ++batches_completed_;
+  if (options_.crash_after_batches > 0 &&
+      batches_completed_ >= options_.crash_after_batches) {
+    crash_fired_ = true;
+  }
+  return crash_fired_;
+}
+
+bool FaultInjector::CrashOnDriftMove() {
+  if (crash_fired_) return false;
+  ++drift_moves_applied_;
+  if (options_.crash_after_drift_moves > 0 &&
+      drift_moves_applied_ >= options_.crash_after_drift_moves) {
+    crash_fired_ = true;
+  }
+  return crash_fired_;
+}
+
+bool FaultInjector::CrashBeforeCheckpoint(int cycle) {
+  if (crash_fired_) return false;
+  if (options_.crash_before_checkpoint_cycle >= 0 &&
+      cycle == options_.crash_before_checkpoint_cycle) {
+    crash_fired_ = true;
+  }
+  return crash_fired_;
+}
+
+Status TruncateFileAt(const std::string& path, uint64_t offset) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return NotFoundError(StrFormat("cannot stat '%s': %s", path.c_str(),
+                                   std::strerror(errno)));
+  }
+  if (static_cast<uint64_t>(st.st_size) < offset) {
+    return InvalidArgumentError(
+        StrFormat("truncating '%s' to %llu bytes would extend it (size %lld)",
+                  path.c_str(), static_cast<unsigned long long>(offset),
+                  static_cast<long long>(st.st_size)));
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    return InternalError(StrFormat("truncate('%s') failed: %s", path.c_str(),
+                                   std::strerror(errno)));
+  }
+  return Status::OK();
 }
 
 }  // namespace rasa

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -35,6 +36,24 @@ struct FaultInjectionOptions {
   /// Per-cycle probability that the optimizer call itself errors out (the
   /// workflow must record the cycle as a dry-run and keep going).
   double optimizer_failure_probability = 0.0;
+
+  // --- Simulated controller crashes (durability testing; DESIGN.md
+  // "Durability & recovery"). Each fires at most once per injector and
+  // stops the workflow dead — no cleanup, no further journal records. The
+  // live cluster keeps whatever state the killed controller left behind.
+  /// Crash immediately after the Nth successfully applied migration
+  /// command of the run (1-based); <= 0 disables.
+  long crash_after_commands = 0;
+  /// Crash after the Nth completed+audited batch, before its commit record
+  /// reaches the journal (1-based); <= 0 disables.
+  int crash_after_batches = 0;
+  /// Crash mid-drift, after the Nth applied drift move of the run
+  /// (1-based); <= 0 disables.
+  long crash_after_drift_moves = 0;
+  /// Crash at the end of this cycle, right before the checkpoint write
+  /// (0-based cycle index); < 0 disables.
+  int crash_before_checkpoint_cycle = -1;
+
   uint64_t seed = 1234;
 };
 
@@ -61,6 +80,16 @@ class FaultInjector {
   /// Draws whether this cycle's optimizer call errors out entirely.
   bool DrawOptimizerFailure();
 
+  /// Crash-point triggers, consulted by the executor's crash hooks and the
+  /// workflow's drift/checkpoint code. True = die here, now. Once any
+  /// trigger fires the injector stays "crashed" and never fires again.
+  bool CrashOnCommandApplied();
+  bool CrashOnBatchComplete();
+  bool CrashOnDriftMove();
+  bool CrashBeforeCheckpoint(int cycle);
+  /// Whether any crash point has fired.
+  bool crash_fired() const { return crash_fired_; }
+
   const FaultInjectionOptions& options() const { return options_; }
   long commands_seen() const { return commands_seen_; }
   int failures_injected() const { return failures_injected_; }
@@ -75,7 +104,18 @@ class FaultInjector {
   int failures_injected_ = 0;
   int cordons_fired_ = 0;
   bool cordon_armed_ = true;
+  long commands_applied_ = 0;
+  long batches_completed_ = 0;
+  long drift_moves_applied_ = 0;
+  bool crash_fired_ = false;
 };
+
+/// Torn-write simulation: truncates `path` to exactly `offset` bytes, as a
+/// crash mid-write would. kInvalidArgument when `offset` exceeds the file's
+/// size (that would extend it, which no crash does), kNotFound when the
+/// file does not exist. Durability tests sweep this across every byte
+/// offset of checkpoints, journals and snapshots.
+Status TruncateFileAt(const std::string& path, uint64_t offset);
 
 /// ClusterActions decorator: asks the injector for trouble, then delegates.
 class FaultyClusterActions : public ClusterActions {

@@ -1,8 +1,10 @@
 #include "sim/workflow.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -13,6 +15,7 @@
 #include "core/migration.h"
 #include "core/migration_executor.h"
 #include "core/objective.h"
+#include "core/recovery.h"
 #include "sim/fault_injection.h"
 
 namespace rasa {
@@ -57,6 +60,38 @@ void DriftPlacement(const Cluster& cluster, Placement& placement,
   }
 }
 
+// Same relocation policy as DriftPlacement — the identical draw sequence —
+// but computed on a scratch copy and returned as an explicit move list, so
+// the intent can be journaled before any move touches the live placement
+// (crash mid-drift is then recoverable move-by-move).
+std::vector<DriftMove> ComputeDriftMoves(const Cluster& cluster,
+                                         const Placement& current,
+                                         double fraction, Rng& rng) {
+  Placement scratch = RebindPlacement(cluster, current);
+  std::vector<DriftMove> out;
+  const int moves =
+      static_cast<int>(fraction * cluster.num_containers());
+  for (int i = 0; i < moves; ++i) {
+    const int s = static_cast<int>(rng.NextUint64(cluster.num_services()));
+    const auto& machines = scratch.MachinesOf(s);
+    if (machines.empty()) continue;
+    const int pick = static_cast<int>(rng.NextUint64(machines.size()));
+    auto it = machines.begin();
+    std::advance(it, pick);
+    const int from = it->first;
+    std::vector<int> feasible;
+    for (int m = 0; m < cluster.num_machines(); ++m) {
+      if (m != from && scratch.CanPlace(m, s)) feasible.push_back(m);
+    }
+    if (feasible.empty()) continue;
+    const int to = feasible[rng.NextUint64(feasible.size())];
+    RASA_CHECK(scratch.Remove(from, s).ok());
+    scratch.Add(to, s);
+    out.push_back({s, from, to});
+  }
+  return out;
+}
+
 double MaxMachineUtilization(const Cluster& cluster,
                              const Placement& placement) {
   double worst = 0.0;
@@ -69,6 +104,596 @@ double MaxMachineUtilization(const Cluster& cluster,
     }
   }
   return worst;
+}
+
+// Runs one workflow invocation: the periodic control loop of §III-A plus
+// the durability layer (checkpoints + write-ahead journal) and the resume
+// path that completes interrupted cycles from the journal.
+class WorkflowRunner {
+ public:
+  WorkflowRunner(const Cluster& cluster, const Placement& initial,
+                 const AlgorithmSelector& selector,
+                 const WorkflowOptions& options)
+      : cluster_(cluster),
+        initial_(initial),
+        selector_(selector),
+        options_(options),
+        rng_(options.seed),
+        frozen_cooldown_(cluster.num_services(), 0),
+        injector_(options.faults) {}
+
+  StatusOr<WorkflowReport> Run();
+
+ private:
+  Status InitDurableFresh();
+  Status InitResume();
+  Status RunCycleNormal(int cycle);
+  Status CompleteCycleFromJournal(int cycle, const CycleJournal& cj);
+  // Shared end-of-cycle path: report bookkeeping, drift (journaled fresh or
+  // rolled forward from `drift_rec`), cooldown ticks, checkpoint. Sets
+  // `crashed_` when a crash point fires mid-tail.
+  Status CycleTail(int cycle, CycleReport cr, Stopwatch& timer,
+                   const JournalRecord* drift_rec, const Placement* pre_drift);
+  Status WriteCheckpoint(int next_cycle);
+  WorkflowCounters CurrentCounters() const;
+
+  const Cluster& cluster_;
+  const Placement& initial_;
+  const AlgorithmSelector& selector_;
+  const WorkflowOptions& options_;
+
+  WorkflowReport report_;
+  Placement live_;
+  Rng rng_;
+  std::vector<int> frozen_cooldown_;
+  FaultInjector injector_;
+  std::unique_ptr<ThreadPool> solver_pool_;
+
+  bool durable_ = false;
+  std::unique_ptr<WorkflowJournal> journal_;
+  std::shared_ptr<const Cluster> checkpoint_cluster_;
+  LedgerSummary last_ledger_;
+  // Chaos totals restored from the checkpoint (the injector restarts at 0).
+  int base_faults_ = 0;
+  int base_cordons_ = 0;
+  bool crashed_ = false;
+  int start_cycle_ = 0;
+  RecoveryAnalysis analysis_;          // resume only
+  Placement expected_start_;           // expected start state of the cycle
+                                       // currently being completed
+};
+
+WorkflowCounters WorkflowRunner::CurrentCounters() const {
+  WorkflowCounters c;
+  c.executions = report_.executions;
+  c.dry_runs = report_.dry_runs;
+  c.rollbacks = report_.rollbacks;
+  c.solver_failures = report_.solver_failures;
+  c.partial_executions = report_.partial_executions;
+  c.commands_failed = report_.commands_failed;
+  c.command_retries = report_.command_retries;
+  c.replans = report_.replans;
+  c.sla_violations = report_.sla_violations;
+  c.feasibility_violations = report_.feasibility_violations;
+  c.faults_injected = base_faults_ + injector_.failures_injected();
+  c.cordons_fired = base_cordons_ + injector_.cordons_fired();
+  return c;
+}
+
+Status WorkflowRunner::WriteCheckpoint(int next_cycle) {
+  WorkflowCheckpoint c;
+  c.next_cycle = next_cycle;
+  c.rng_state = rng_.SerializeState();
+  c.frozen_cooldown = frozen_cooldown_;
+  c.counters = CurrentCounters();
+  c.ledger = last_ledger_;
+  c.snapshot.name = StrFormat("workflow-cycle-%d", next_cycle);
+  c.snapshot.cluster = checkpoint_cluster_;
+  c.snapshot.original_placement =
+      RebindPlacement(*checkpoint_cluster_, live_);
+  return SaveWorkflowCheckpoint(options_.state_dir, c);
+}
+
+Status WorkflowRunner::InitDurableFresh() {
+  RASA_RETURN_IF_ERROR(EnsureDirectory(options_.state_dir));
+  // A fresh (non-resume) run owns the directory: stale durable state from a
+  // previous run would corrupt recovery, so it is cleared first.
+  std::remove((options_.state_dir + "/journal.wal").c_str());
+  std::remove((options_.state_dir + "/checkpoint").c_str());
+  std::remove((options_.state_dir + "/checkpoint.prev").c_str());
+  StatusOr<WorkflowJournal> journal = WorkflowJournal::Open(options_.state_dir);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::make_unique<WorkflowJournal>(std::move(journal).value());
+  durable_ = true;
+  // Checkpoint 0: even a crash in the first cycle has a recovery anchor.
+  return WriteCheckpoint(0);
+}
+
+Status WorkflowRunner::InitResume() {
+  RASA_ASSIGN_OR_RETURN(analysis_, AnalyzeWorkflowState(options_.state_dir));
+  const WorkflowCheckpoint& c = analysis_.checkpoint;
+  if (c.snapshot.cluster == nullptr ||
+      c.snapshot.cluster->num_services() != cluster_.num_services() ||
+      c.snapshot.cluster->num_machines() != cluster_.num_machines()) {
+    return InvalidArgumentError(
+        StrFormat("state dir '%s' belongs to a different cluster",
+                  options_.state_dir.c_str()));
+  }
+  if (static_cast<int>(c.frozen_cooldown.size()) != cluster_.num_services()) {
+    return InvalidArgumentError("checkpoint cooldown size mismatch");
+  }
+  RASA_RETURN_IF_ERROR(rng_.RestoreState(c.rng_state));
+  frozen_cooldown_ = c.frozen_cooldown;
+  last_ledger_ = c.ledger;
+  report_.executions = c.counters.executions;
+  report_.dry_runs = c.counters.dry_runs;
+  report_.rollbacks = c.counters.rollbacks;
+  report_.solver_failures = c.counters.solver_failures;
+  report_.partial_executions = c.counters.partial_executions;
+  report_.commands_failed = c.counters.commands_failed;
+  report_.command_retries = c.counters.command_retries;
+  report_.replans = c.counters.replans;
+  report_.sla_violations = c.counters.sla_violations;
+  report_.feasibility_violations = c.counters.feasibility_violations;
+  base_faults_ = c.counters.faults_injected;
+  base_cordons_ = c.counters.cordons_fired;
+  start_cycle_ = c.next_cycle;
+  report_.resumed_cycle = start_cycle_;
+  report_.recovery.recovered = true;
+  report_.recovery.used_previous_checkpoint =
+      analysis_.used_previous_checkpoint;
+  report_.recovery.journal_torn_tail = analysis_.journal_torn_tail;
+  expected_start_ = RebindPlacement(cluster_, c.snapshot.original_placement);
+  StatusOr<WorkflowJournal> journal = WorkflowJournal::Open(options_.state_dir);
+  if (!journal.ok()) return journal.status();
+  journal_ = std::make_unique<WorkflowJournal>(std::move(journal).value());
+  durable_ = true;
+  return Status::OK();
+}
+
+Status WorkflowRunner::CycleTail(int cycle, CycleReport cr, Stopwatch& timer,
+                                 const JournalRecord* drift_rec,
+                                 const Placement* pre_drift) {
+  if (!cr.executed && !cr.rolled_back) ++report_.dry_runs;
+
+  cr.affinity_after = GainedAffinity(cluster_, live_);
+  if (cr.executed) {
+    cr.migration_truncation = cr.predicted_affinity - cr.affinity_after;
+  }
+  cr.seconds = timer.ElapsedSeconds();
+  if (MetricsEnabled()) {
+    cr.metrics = MetricRegistry::Default().Scrape();
+  }
+  report_.cycles.push_back(std::move(cr));
+
+  // Cluster drift before the next cycle. Fresh cycles journal the intent
+  // (explicit move list + post-draw RNG state) before applying; recovered
+  // cycles roll the journaled moves forward instead of redrawing.
+  if (drift_rec != nullptr) {
+    const int applied =
+        RollForwardDrift(cluster_, drift_rec->moves, *pre_drift, live_);
+    if (applied < 0) {
+      ++report_.recovery.phases_abandoned;
+    } else {
+      report_.recovery.drift_moves_rolled_forward += applied;
+    }
+    RASA_RETURN_IF_ERROR(rng_.RestoreState(drift_rec->rng_state));
+  } else {
+    const std::vector<DriftMove> moves =
+        ComputeDriftMoves(cluster_, live_, options_.drift_fraction, rng_);
+    if (durable_) {
+      JournalRecord intent;
+      intent.type = JournalRecordType::kDriftIntent;
+      intent.cycle = cycle;
+      intent.rng_state = rng_.SerializeState();
+      intent.moves = moves;
+      RASA_RETURN_IF_ERROR(journal_->Append(intent));
+    }
+    for (const DriftMove& mv : moves) {
+      RASA_CHECK(live_.Remove(mv.from, mv.service).ok());
+      live_.Add(mv.to, mv.service);
+      if (options_.inject_faults && injector_.CrashOnDriftMove()) {
+        crashed_ = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  for (int& cd : frozen_cooldown_) cd = std::max(0, cd - 1);
+  if (options_.inject_faults) injector_.EndCycle();
+
+  if (durable_) {
+    if (options_.inject_faults && injector_.CrashBeforeCheckpoint(cycle)) {
+      crashed_ = true;  // died with the cycle applied but not checkpointed
+      return Status::OK();
+    }
+    RASA_RETURN_IF_ERROR(WriteCheckpoint(cycle + 1));
+  }
+  return Status::OK();
+}
+
+Status WorkflowRunner::RunCycleNormal(int cycle) {
+  const TraceSpan cycle_span(StrFormat("cycle_%d", cycle));
+  Stopwatch timer;
+  CycleReport cr;
+  cr.affinity_before = GainedAffinity(cluster_, live_);
+
+  if (durable_) {
+    JournalRecord start;
+    start.type = JournalRecordType::kCycleStart;
+    start.cycle = cycle;
+    start.rng_state = rng_.SerializeState();
+    RASA_RETURN_IF_ERROR(journal_->Append(start));
+  }
+
+  // 1) Data collection (measured traffic, frozen services muted so the
+  //    partitioner treats them as trivial and leaves them in place).
+  CollectedState state = CollectClusterState(
+      cluster_, live_, options_.measurement_noise, rng_.Next());
+  bool any_frozen = false;
+  for (int cd : frozen_cooldown_) any_frozen |= cd > 0;
+  if (any_frozen) {
+    AffinityGraph muted(cluster_.num_services());
+    for (const AffinityEdge& e : state.measured_cluster->affinity().edges()) {
+      if (frozen_cooldown_[e.u] > 0 || frozen_cooldown_[e.v] > 0) continue;
+      muted.AddEdge(e.u, e.v, e.weight);
+    }
+    state.measured_cluster = std::make_shared<Cluster>(
+        cluster_.resource_names(), cluster_.services(), cluster_.machines(),
+        std::move(muted), cluster_.anti_affinity());
+    state.placement = RebindPlacement(*state.measured_cluster, live_);
+  }
+
+  // 2) The RASA algorithm on the collected state. A failed optimizer run
+  //    must not abort the workflow: the cycle is recorded as a dry-run
+  //    (affinity_after == affinity_before) and the loop continues.
+  RasaOptions rasa_options = options_.rasa;
+  rasa_options.seed = rng_.Next();
+  if (options_.inject_faults && injector_.DrawSolverExhaustion()) {
+    // Chaos: the cycle starts with its solver budget already spent,
+    // forcing the degradation ladder straight down to the greedy.
+    rasa_options.timeout_seconds = 0.0;
+  }
+  RasaOptimizer optimizer(rasa_options, selector_);
+  StatusOr<RasaResult> optimized =
+      options_.inject_faults && injector_.DrawOptimizerFailure()
+          ? StatusOr<RasaResult>(InternalError("injected optimizer failure"))
+          : optimizer.Optimize(*state.measured_cluster, state.placement,
+                               solver_pool_.get());
+  DryReason dry_reason = DryReason::kBelowThreshold;
+  if (!optimized.ok()) {
+    RASA_LOG(Warning) << "cycle " << cycle << " optimizer failed: "
+                      << optimized.status().ToString()
+                      << "; recording as dry-run";
+    cr.solver_failed = true;
+    dry_reason = DryReason::kSolverFailed;
+    ++report_.solver_failures;
+  } else {
+    cr.predicted_affinity = optimized->new_gained_affinity;
+    cr.explain = optimized->report;
+    if (cr.explain.populated) {
+      last_ledger_.subproblems = static_cast<int>(cr.explain.records.size());
+      last_ledger_.greedy_fallbacks = 0;
+      last_ledger_.secondary_successes = 0;
+      for (const LedgerRecord& rec : cr.explain.records) {
+        if (rec.fell_to_greedy) ++last_ledger_.greedy_fallbacks;
+        if (rec.used_secondary) ++last_ledger_.secondary_successes;
+      }
+      last_ledger_.solver_failures = report_.solver_failures;
+      last_ledger_.certificate_gap = cr.explain.certificate.Gap();
+    }
+  }
+
+  // 3) Reallocate per the migration plan (or dry-run).
+  bool executed_or_rolled_back = false;
+  if (optimized.ok() && optimized->should_execute) {
+    RasaResult& result = *optimized;
+    const Status valid = ValidateMigrationPlan(
+        *state.measured_cluster, state.placement, result.new_placement,
+        result.migration, rasa_options.migration.min_alive_fraction);
+    if (!valid.ok()) {
+      RASA_LOG(Warning) << "migration plan invalid, dry-running: "
+                        << valid.ToString();
+      dry_reason = DryReason::kInvalidPlan;
+    } else {
+      Placement candidate = RebindPlacement(cluster_, result.new_placement);
+      if (MaxMachineUtilization(cluster_, candidate) >
+          options_.rollback_utilization_threshold) {
+        // Rollback: revert, tag the moved services unschedulable.
+        executed_or_rolled_back = true;
+        cr.rolled_back = true;
+        ++report_.rollbacks;
+        std::vector<int> frozen;
+        for (int s = 0; s < cluster_.num_services(); ++s) {
+          bool moved = false;
+          for (const auto& [m, count] : candidate.MachinesOf(s)) {
+            if (live_.CountOn(m, s) != count) {
+              moved = true;
+              break;
+            }
+          }
+          if (moved) {
+            frozen_cooldown_[s] = options_.unschedulable_cycles;
+            frozen.push_back(s);
+          }
+        }
+        if (durable_) {
+          JournalRecord rec;
+          rec.type = JournalRecordType::kDecisionRollback;
+          rec.cycle = cycle;
+          rec.rng_state = rng_.SerializeState();
+          rec.frozen_services = std::move(frozen);
+          RASA_RETURN_IF_ERROR(journal_->Append(rec));
+        }
+      } else {
+        executed_or_rolled_back = true;
+        // Chaos: the cluster drifts between collection and execution, so
+        // the plan is stale and the executor must re-plan mid-flight.
+        if (options_.inject_faults &&
+            options_.faults.stale_snapshot_drift > 0.0) {
+          DriftPlacement(cluster_, live_, options_.faults.stale_snapshot_drift,
+                         rng_);
+        }
+        MigrationExecutorOptions exec_options;
+        exec_options.retry = options_.command_retry;
+        exec_options.min_alive_fraction =
+            rasa_options.migration.min_alive_fraction;
+        exec_options.max_replans = options_.max_replans;
+        exec_options.seed = rng_.Next();
+        if (durable_) {
+          // WAL plan record: the full intent (target + batches + the RNG
+          // state after every pre-execution draw) is durable before the
+          // first command runs, so recovery never re-runs the optimizer.
+          JournalRecord plan;
+          plan.type = JournalRecordType::kPlan;
+          plan.cycle = cycle;
+          plan.rng_state = rng_.SerializeState();
+          plan.exec_seed = exec_options.seed;
+          plan.predicted_affinity = cr.predicted_affinity;
+          for (int m = 0; m < cluster_.num_machines(); ++m) {
+            for (const auto& [s, count] : candidate.ServicesOn(m)) {
+              plan.target.push_back({m, s, count});
+            }
+          }
+          plan.batches = result.migration.batches;
+          RASA_RETURN_IF_ERROR(journal_->Append(plan));
+        }
+        if (options_.use_migration_executor) {
+          PlacementActions base_actions(live_);
+          FaultyClusterActions faulty_actions(base_actions, injector_);
+          ClusterActions& actions =
+              options_.inject_faults
+                  ? static_cast<ClusterActions&>(faulty_actions)
+                  : static_cast<ClusterActions&>(base_actions);
+          exec_options.journal = journal_.get();
+          exec_options.journal_cycle = cycle;
+          if (options_.inject_faults) {
+            exec_options.crash_after_command = [this] {
+              return injector_.CrashOnCommandApplied();
+            };
+            exec_options.crash_after_batch = [this] {
+              return injector_.CrashOnBatchComplete();
+            };
+          }
+          const MigrationExecutionReport exec = ExecuteMigration(
+              cluster_, live_, candidate, result.migration, actions,
+              exec_options);
+          if (exec.crashed) {
+            // Stopped dead mid-execution: the live placement is whatever
+            // the applied commands left behind; nothing else runs.
+            crashed_ = true;
+            return Status::OK();
+          }
+          cr.executed = true;
+          cr.reached_target = exec.reached_target;
+          cr.moved_containers = exec.commands_succeeded;
+          cr.migration_batches = exec.batches_executed;
+          cr.commands_failed = exec.commands_failed;
+          cr.command_retries = exec.retries;
+          cr.replans = exec.replans;
+          ++report_.executions;
+          if (!exec.reached_target) ++report_.partial_executions;
+          report_.commands_failed += exec.commands_failed;
+          report_.command_retries += exec.retries;
+          report_.replans += exec.replans;
+          report_.sla_violations += exec.sla_violations;
+          report_.feasibility_violations += exec.feasibility_violations;
+          if (durable_) {
+            JournalRecord done;
+            done.type = JournalRecordType::kExecDone;
+            done.cycle = cycle;
+            done.reached_target = exec.reached_target;
+            done.batches_executed = exec.batches_executed;
+            done.commands_succeeded = exec.commands_succeeded;
+            done.commands_failed = exec.commands_failed;
+            done.retries = exec.retries;
+            done.replans = exec.replans;
+            done.sla_violations = exec.sla_violations;
+            done.feasibility_violations = exec.feasibility_violations;
+            RASA_RETURN_IF_ERROR(journal_->Append(done));
+          }
+        } else {
+          cr.executed = true;
+          cr.reached_target = true;
+          cr.moved_containers = result.moved_containers;
+          cr.migration_batches =
+              static_cast<int>(result.migration.batches.size());
+          ++report_.executions;
+          live_ = std::move(candidate);
+          if (durable_) {
+            JournalRecord done;
+            done.type = JournalRecordType::kExecDone;
+            done.cycle = cycle;
+            done.reached_target = true;
+            done.batches_executed = cr.migration_batches;
+            done.commands_succeeded = cr.moved_containers;
+            RASA_RETURN_IF_ERROR(journal_->Append(done));
+          }
+        }
+      }
+    }
+  }
+  if (durable_ && !executed_or_rolled_back) {
+    JournalRecord rec;
+    rec.type = JournalRecordType::kDecisionDry;
+    rec.cycle = cycle;
+    rec.rng_state = rng_.SerializeState();
+    rec.dry_reason = dry_reason;
+    RASA_RETURN_IF_ERROR(journal_->Append(rec));
+  }
+
+  return CycleTail(cycle, std::move(cr), timer, nullptr, nullptr);
+}
+
+Status WorkflowRunner::CompleteCycleFromJournal(int cycle,
+                                                const CycleJournal& cj) {
+  if (cj.decision == CycleJournal::Decision::kNone) {
+    // Only a cycle_start (or nothing) was journaled: no durable side effect
+    // happened, the RNG and cooldowns are still at their cycle-start state,
+    // so the cycle simply runs live.
+    return RunCycleNormal(cycle);
+  }
+  const TraceSpan cycle_span(StrFormat("cycle_%d_recovery", cycle));
+  Stopwatch timer;
+  CycleReport cr;
+  cr.recovered = true;
+  cr.affinity_before = GainedAffinity(cluster_, expected_start_);
+  ++report_.recovery.cycles_completed_from_journal;
+
+  Placement pre_drift = expected_start_;
+  switch (cj.decision) {
+    case CycleJournal::Decision::kDry:
+      RASA_RETURN_IF_ERROR(rng_.RestoreState(cj.decision_record.rng_state));
+      cr.solver_failed =
+          cj.decision_record.dry_reason == DryReason::kSolverFailed;
+      if (cr.solver_failed) ++report_.solver_failures;
+      break;
+    case CycleJournal::Decision::kRollback:
+      RASA_RETURN_IF_ERROR(rng_.RestoreState(cj.decision_record.rng_state));
+      cr.rolled_back = true;
+      ++report_.rollbacks;
+      for (int s : cj.decision_record.frozen_services) {
+        if (s >= 0 && s < cluster_.num_services()) {
+          frozen_cooldown_[s] = options_.unschedulable_cycles;
+        }
+      }
+      break;
+    case CycleJournal::Decision::kExecute: {
+      RASA_RETURN_IF_ERROR(rng_.RestoreState(cj.plan.rng_state));
+      cr.executed = true;
+      cr.predicted_affinity = cj.plan.predicted_affinity;
+      Placement target(cluster_);
+      for (const std::array<int, 3>& t : cj.plan.target) {
+        target.Add(t[0], t[1], t[2]);
+      }
+      if (cj.exec_done) {
+        // Execution finished before the crash; the observed placement is
+        // already its end state.
+        const JournalRecord& e = cj.exec_record;
+        cr.reached_target = e.reached_target;
+        cr.moved_containers = e.commands_succeeded;
+        cr.migration_batches = e.batches_executed;
+        cr.commands_failed = e.commands_failed;
+        cr.command_retries = e.retries;
+        cr.replans = e.replans;
+        report_.commands_failed += e.commands_failed;
+        report_.command_retries += e.retries;
+        report_.replans += e.replans;
+        report_.sla_violations += e.sla_violations;
+        report_.feasibility_violations += e.feasibility_violations;
+      } else {
+        // Classify every journaled command against the observed world
+        // before mutating it, then roll the interrupted execution forward.
+        const std::vector<CommandClassification> fates =
+            ClassifyInFlightCommands(cluster_, cj, expected_start_, live_,
+                                     analysis_.journal_torn_tail);
+        for (const CommandClassification& f : fates) {
+          switch (f.fate) {
+            case CommandFate::kApplied:
+              ++report_.recovery.commands_applied_pre_crash;
+              break;
+            case CommandFate::kNotApplied:
+              ++report_.recovery.commands_not_applied;
+              break;
+            case CommandFate::kTorn:
+              ++report_.recovery.commands_torn;
+              break;
+          }
+        }
+        RASA_ASSIGN_OR_RETURN(
+            const RollForwardResult rf,
+            RollForwardExecution(cluster_, cj, expected_start_, live_,
+                                 options_.rasa.migration.min_alive_fraction,
+                                 journal_.get()));
+        cr.reached_target = rf.reached_target;
+        cr.moved_containers =
+            rf.commands_pre_applied + rf.commands_rolled_forward;
+        int num_batches = static_cast<int>(cj.plan.batches.size());
+        if (!cj.batch_intents.empty()) {
+          num_batches =
+              std::max(num_batches, cj.batch_intents.rbegin()->first + 1);
+        }
+        cr.migration_batches = num_batches;
+        report_.sla_violations += rf.sla_violations;
+        report_.feasibility_violations += rf.feasibility_violations;
+        report_.recovery.commands_rolled_forward += rf.commands_rolled_forward;
+        report_.recovery.batches_rolled_forward += rf.batches_rolled_forward;
+        if (rf.abandoned) ++report_.recovery.phases_abandoned;
+      }
+      ++report_.executions;
+      if (!cr.reached_target) ++report_.partial_executions;
+      pre_drift = cr.reached_target ? std::move(target) : live_;
+      break;
+    }
+    case CycleJournal::Decision::kNone:
+      break;  // handled above
+  }
+  return CycleTail(cycle, std::move(cr), timer,
+                   cj.drift_started ? &cj.drift_record : nullptr, &pre_drift);
+}
+
+StatusOr<WorkflowReport> WorkflowRunner::Run() {
+  live_ = RebindPlacement(cluster_, initial_);
+  // One worker pool shared by every cycle's optimizer run: spawning threads
+  // once instead of per cycle keeps the per-cycle overhead at zero.
+  const int solver_threads = options_.rasa.num_threads == 0
+                                 ? ThreadPool::DefaultNumThreads()
+                                 : std::max(1, options_.rasa.num_threads);
+  if (solver_threads > 1) {
+    solver_pool_ = std::make_unique<ThreadPool>(solver_threads);
+  }
+
+  if (!options_.state_dir.empty()) {
+    checkpoint_cluster_ = std::make_shared<Cluster>(
+        cluster_.resource_names(), cluster_.services(), cluster_.machines(),
+        cluster_.affinity(), cluster_.anti_affinity());
+    if (options_.resume) {
+      RASA_RETURN_IF_ERROR(InitResume());
+    } else {
+      RASA_RETURN_IF_ERROR(InitDurableFresh());
+    }
+  }
+
+  for (int cycle = start_cycle_; cycle < options_.cycles && !crashed_;
+       ++cycle) {
+    if (options_.resume) {
+      const auto it = analysis_.cycles.find(cycle);
+      if (it != analysis_.cycles.end() &&
+          it->second.decision != CycleJournal::Decision::kNone) {
+        RASA_RETURN_IF_ERROR(CompleteCycleFromJournal(cycle, it->second));
+        // A completed cycle leaves live_ at the next cycle's start state.
+        expected_start_ = live_;
+        continue;
+      }
+    }
+    RASA_RETURN_IF_ERROR(RunCycleNormal(cycle));
+  }
+
+  report_.faults_injected = base_faults_ + injector_.failures_injected();
+  report_.cordons_fired = base_cordons_ + injector_.cordons_fired();
+  report_.crashed = crashed_;
+  report_.final_placement = std::move(live_);
+  return std::move(report_);
 }
 
 }  // namespace
@@ -93,177 +718,41 @@ CollectedState CollectClusterState(const Cluster& cluster,
   return state;
 }
 
+Status ValidateWorkflowOptions(const WorkflowOptions& options) {
+  if (options.cycles < 0) {
+    return InvalidArgumentError(
+        StrFormat("cycles must be non-negative (got %d)", options.cycles));
+  }
+  // The negated comparisons also catch NaN.
+  if (!(options.drift_fraction >= 0.0 && options.drift_fraction <= 1.0)) {
+    return InvalidArgumentError(
+        StrFormat("drift_fraction must be in [0, 1] (got %g)",
+                  options.drift_fraction));
+  }
+  if (!(options.measurement_noise >= 0.0 &&
+        options.measurement_noise <= 1.0)) {
+    return InvalidArgumentError(
+        StrFormat("measurement_noise must be in [0, 1] (got %g)",
+                  options.measurement_noise));
+  }
+  if (options.max_replans <= 0) {
+    return InvalidArgumentError(
+        StrFormat("max_replans must be positive (got %d)",
+                  options.max_replans));
+  }
+  if (options.resume && options.state_dir.empty()) {
+    return InvalidArgumentError("resume requires a state_dir");
+  }
+  return Status::OK();
+}
+
 StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,
                                      const Placement& initial,
                                      const AlgorithmSelector& selector,
                                      const WorkflowOptions& options) {
-  WorkflowReport report;
-  Placement live = RebindPlacement(cluster, initial);
-  Rng rng(options.seed);
-  // Services tagged unschedulable after a rollback, with remaining cooldown.
-  std::vector<int> frozen_cooldown(cluster.num_services(), 0);
-  // The chaos source lives across cycles so cordons span migrations.
-  FaultInjector injector(options.faults);
-  // One worker pool shared by every cycle's optimizer run: spawning threads
-  // once instead of per cycle keeps the per-cycle overhead at zero.
-  const int solver_threads = options.rasa.num_threads == 0
-                                 ? ThreadPool::DefaultNumThreads()
-                                 : std::max(1, options.rasa.num_threads);
-  std::unique_ptr<ThreadPool> solver_pool;
-  if (solver_threads > 1) {
-    solver_pool = std::make_unique<ThreadPool>(solver_threads);
-  }
-
-  for (int cycle = 0; cycle < options.cycles; ++cycle) {
-    const TraceSpan cycle_span(StrFormat("cycle_%d", cycle));
-    Stopwatch timer;
-    CycleReport cr;
-    cr.affinity_before = GainedAffinity(cluster, live);
-
-    // 1) Data collection (measured traffic, frozen services muted so the
-    //    partitioner treats them as trivial and leaves them in place).
-    CollectedState state =
-        CollectClusterState(cluster, live, options.measurement_noise,
-                            rng.Next());
-    bool any_frozen = false;
-    for (int cd : frozen_cooldown) any_frozen |= cd > 0;
-    if (any_frozen) {
-      AffinityGraph muted(cluster.num_services());
-      for (const AffinityEdge& e :
-           state.measured_cluster->affinity().edges()) {
-        if (frozen_cooldown[e.u] > 0 || frozen_cooldown[e.v] > 0) continue;
-        muted.AddEdge(e.u, e.v, e.weight);
-      }
-      state.measured_cluster = std::make_shared<Cluster>(
-          cluster.resource_names(), cluster.services(), cluster.machines(),
-          std::move(muted), cluster.anti_affinity());
-      state.placement = RebindPlacement(*state.measured_cluster, live);
-    }
-
-    // 2) The RASA algorithm on the collected state. A failed optimizer run
-    //    must not abort the workflow: the cycle is recorded as a dry-run
-    //    (affinity_after == affinity_before) and the loop continues.
-    RasaOptions rasa_options = options.rasa;
-    rasa_options.seed = rng.Next();
-    if (options.inject_faults && injector.DrawSolverExhaustion()) {
-      // Chaos: the cycle starts with its solver budget already spent,
-      // forcing the degradation ladder straight down to the greedy.
-      rasa_options.timeout_seconds = 0.0;
-    }
-    RasaOptimizer optimizer(rasa_options, selector);
-    StatusOr<RasaResult> optimized =
-        options.inject_faults && injector.DrawOptimizerFailure()
-            ? StatusOr<RasaResult>(
-                  InternalError("injected optimizer failure"))
-            : optimizer.Optimize(*state.measured_cluster, state.placement,
-                                 solver_pool.get());
-    if (!optimized.ok()) {
-      RASA_LOG(Warning) << "cycle " << cycle << " optimizer failed: "
-                        << optimized.status().ToString()
-                        << "; recording as dry-run";
-      cr.solver_failed = true;
-      ++report.solver_failures;
-    } else {
-      cr.predicted_affinity = optimized->new_gained_affinity;
-      cr.explain = optimized->report;
-    }
-
-    // 3) Reallocate per the migration plan (or dry-run).
-    if (optimized.ok() && optimized->should_execute) {
-      RasaResult& result = *optimized;
-      const Status valid = ValidateMigrationPlan(
-          *state.measured_cluster, state.placement, result.new_placement,
-          result.migration, rasa_options.migration.min_alive_fraction);
-      if (!valid.ok()) {
-        RASA_LOG(Warning) << "migration plan invalid, dry-running: "
-                          << valid.ToString();
-      } else {
-        Placement candidate = RebindPlacement(cluster, result.new_placement);
-        if (MaxMachineUtilization(cluster, candidate) >
-            options.rollback_utilization_threshold) {
-          // Rollback: revert, tag the moved services unschedulable.
-          cr.rolled_back = true;
-          ++report.rollbacks;
-          for (int s = 0; s < cluster.num_services(); ++s) {
-            bool moved = false;
-            for (const auto& [m, count] : candidate.MachinesOf(s)) {
-              if (live.CountOn(m, s) != count) {
-                moved = true;
-                break;
-              }
-            }
-            if (moved) frozen_cooldown[s] = options.unschedulable_cycles;
-          }
-        } else if (options.use_migration_executor) {
-          // Chaos: the cluster drifts between collection and execution, so
-          // the plan is stale and the executor must re-plan mid-flight.
-          if (options.inject_faults &&
-              options.faults.stale_snapshot_drift > 0.0) {
-            DriftPlacement(cluster, live, options.faults.stale_snapshot_drift,
-                           rng);
-          }
-          PlacementActions base_actions(live);
-          FaultyClusterActions faulty_actions(base_actions, injector);
-          ClusterActions& actions =
-              options.inject_faults
-                  ? static_cast<ClusterActions&>(faulty_actions)
-                  : static_cast<ClusterActions&>(base_actions);
-          MigrationExecutorOptions exec_options;
-          exec_options.retry = options.command_retry;
-          exec_options.min_alive_fraction =
-              rasa_options.migration.min_alive_fraction;
-          exec_options.max_replans = options.max_replans;
-          exec_options.seed = rng.Next();
-          const MigrationExecutionReport exec = ExecuteMigration(
-              cluster, live, candidate, result.migration, actions,
-              exec_options);
-          cr.executed = true;
-          cr.reached_target = exec.reached_target;
-          cr.moved_containers = exec.commands_succeeded;
-          cr.migration_batches = exec.batches_executed;
-          cr.commands_failed = exec.commands_failed;
-          cr.command_retries = exec.retries;
-          cr.replans = exec.replans;
-          ++report.executions;
-          if (!exec.reached_target) ++report.partial_executions;
-          report.commands_failed += exec.commands_failed;
-          report.command_retries += exec.retries;
-          report.replans += exec.replans;
-          report.sla_violations += exec.sla_violations;
-          report.feasibility_violations += exec.feasibility_violations;
-        } else {
-          cr.executed = true;
-          cr.reached_target = true;
-          cr.moved_containers = result.moved_containers;
-          cr.migration_batches =
-              static_cast<int>(result.migration.batches.size());
-          ++report.executions;
-          live = std::move(candidate);
-        }
-      }
-    }
-    if (!cr.executed && !cr.rolled_back) ++report.dry_runs;
-
-    cr.affinity_after = GainedAffinity(cluster, live);
-    if (cr.executed) {
-      cr.migration_truncation = cr.predicted_affinity - cr.affinity_after;
-    }
-    cr.seconds = timer.ElapsedSeconds();
-    if (MetricsEnabled()) {
-      cr.metrics = MetricRegistry::Default().Scrape();
-    }
-    report.cycles.push_back(std::move(cr));
-
-    // 4) Cluster drift before the next cycle; cooldowns and cordons tick.
-    DriftPlacement(cluster, live, options.drift_fraction, rng);
-    for (int& cd : frozen_cooldown) cd = std::max(0, cd - 1);
-    if (options.inject_faults) injector.EndCycle();
-  }
-
-  report.faults_injected = injector.failures_injected();
-  report.cordons_fired = injector.cordons_fired();
-  report.final_placement = std::move(live);
-  return report;
+  RASA_RETURN_IF_ERROR(ValidateWorkflowOptions(options));
+  WorkflowRunner runner(cluster, initial, selector, options);
+  return runner.Run();
 }
 
 }  // namespace rasa

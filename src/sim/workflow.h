@@ -2,6 +2,7 @@
 #define RASA_SIM_WORKFLOW_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -10,6 +11,7 @@
 #include "common/retry.h"
 #include "common/statusor.h"
 #include "core/rasa.h"
+#include "core/recovery.h"
 #include "sim/fault_injection.h"
 
 namespace rasa {
@@ -58,8 +60,25 @@ struct WorkflowOptions {
   /// budgets are faulted per `faults` (seeded; replays bit-for-bit).
   bool inject_faults = false;
   FaultInjectionOptions faults;
+  /// Durable-state directory (checkpoints + migration write-ahead journal,
+  /// see core/recovery.h). Empty = in-memory only, exactly the pre-durable
+  /// behavior. Durable runs draw the identical random sequence, so the
+  /// final placement matches the in-memory run bit-for-bit.
+  std::string state_dir;
+  /// Resume an interrupted run from `state_dir` instead of starting fresh:
+  /// recovery reconciles the journal against `initial` (the observed live
+  /// placement), rolls the interrupted cycle forward or abandons it
+  /// cleanly, re-runs the SLA/feasibility audits, and continues at the
+  /// interrupted cycle. Requires a non-empty `state_dir`.
+  bool resume = false;
   uint64_t seed = 99;
 };
+
+/// Validates option ranges up front: negative `cycles`, `drift_fraction` or
+/// `measurement_noise` outside [0, 1], non-positive `max_replans`, and
+/// `resume` without a `state_dir` all return kInvalidArgument. RunWorkflow
+/// calls this before touching any state.
+Status ValidateWorkflowOptions(const WorkflowOptions& options);
 
 struct CycleReport {
   double affinity_before = 0.0;
@@ -70,6 +89,10 @@ struct CycleReport {
   /// The optimizer itself returned an error; the cycle was recorded as a
   /// dry-run instead of aborting the workflow.
   bool solver_failed = false;
+  /// This cycle was completed from the journal by crash recovery rather
+  /// than run live (its optimizer never re-ran; the journaled plan was
+  /// rolled forward or abandoned).
+  bool recovered = false;
   /// Executor converged to the (cordon-adjusted) target placement.
   bool reached_target = false;
   int moved_containers = 0;
@@ -114,6 +137,15 @@ struct WorkflowReport {
   // Chaos-harness totals (0 unless inject_faults).
   int faults_injected = 0;
   int cordons_fired = 0;
+  /// A simulated crash point fired and stopped the run dead: the report
+  /// covers only the work up to the crash and `final_placement` is the live
+  /// cluster state at the instant of death (what a restarted controller
+  /// would observe).
+  bool crashed = false;
+  /// Cycle index the resumed run picked up at; -1 when not resumed.
+  int resumed_cycle = -1;
+  /// What crash recovery found and did (zero-initialized unless resumed).
+  RecoveryStats recovery;
 };
 
 /// Simulates the full periodic system of §III-A: each cycle collects the

@@ -1,0 +1,202 @@
+#include "common/durable_io.h"
+
+#include <cstdio>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "sim/fault_injection.h"
+
+namespace rasa {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/rasa_durable_io_" + name;
+}
+
+TEST(Crc32Test, KnownAnswer) {
+  // The IEEE 802.3 check value: CRC-32 of "123456789".
+  const std::string check = "123456789";
+  EXPECT_EQ(Crc32(check), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string a = "hello, ";
+  const std::string b = "durable world";
+  EXPECT_EQ(Crc32(b, Crc32(a)), Crc32(a + b));
+}
+
+TEST(AtomicWriteTest, WritesAndOverwrites) {
+  const std::string path = TestPath("atomic");
+  ASSERT_TRUE(AtomicWriteFile(path, "first\n").ok());
+  StatusOr<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "first\n");
+
+  // Overwrite is atomic too: the old content is fully replaced.
+  ASSERT_TRUE(AtomicWriteFile(path, "second, longer content\n").ok());
+  read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "second, longer content\n");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicWriteTest, MissingFileReadsAsNotFound) {
+  StatusOr<std::string> read = ReadFileToString(TestPath("missing"));
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EnsureDirectoryTest, CreatesNestedDirectories) {
+  const std::string dir = TestPath("nested/a/b/c");
+  ASSERT_TRUE(EnsureDirectory(dir).ok());
+  // Idempotent.
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  // And usable.
+  EXPECT_TRUE(AtomicWriteFile(dir + "/probe", "x").ok());
+}
+
+TEST(VersionedFileTest, RoundTripsArbitraryPayload) {
+  const std::string path = TestPath("versioned");
+  // Embedded NUL and high bytes: the frame is length-delimited, not
+  // terminator-delimited.
+  const char raw[] = "line one\nline two with spaces\n\0binary-ish\x7f tail";
+  const std::string payload(raw, sizeof(raw) - 1);
+  ASSERT_TRUE(WriteVersionedFile(path, payload).ok());
+  StatusOr<std::string> read = ReadVersionedFile(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, payload);
+  std::remove(path.c_str());
+}
+
+TEST(VersionedFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadVersionedFile(TestPath("versioned_missing")).status().code(),
+            StatusCode::kNotFound);
+}
+
+// A versioned file truncated at ANY proper byte prefix must be rejected as
+// a torn write — never parsed, never crash.
+TEST(VersionedFileTest, EveryTruncationPrefixIsRejected) {
+  const std::string path = TestPath("versioned_torn");
+  const std::string payload = "checkpoint payload: cycle 7, rng abc123\n";
+  ASSERT_TRUE(WriteVersionedFile(path, payload).ok());
+  StatusOr<std::string> full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  for (size_t cut = 0; cut < full->size(); ++cut) {
+    ASSERT_TRUE(AtomicWriteFile(path, full->substr(0, cut)).ok());
+    StatusOr<std::string> read = ReadVersionedFile(path);
+    EXPECT_FALSE(read.ok()) << "prefix of " << cut << " bytes parsed";
+    EXPECT_EQ(read.status().code(), StatusCode::kFailedPrecondition)
+        << "prefix of " << cut << " bytes: " << read.status().ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(VersionedFileTest, CorruptedByteIsRejected) {
+  const std::string path = TestPath("versioned_flip");
+  ASSERT_TRUE(WriteVersionedFile(path, "payload under checksum").ok());
+  StatusOr<std::string> full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+  std::string flipped = *full;
+  flipped[flipped.size() - 3] ^= 0x20;  // flip a payload bit
+  ASSERT_TRUE(AtomicWriteFile(path, flipped).ok());
+  EXPECT_EQ(ReadVersionedFile(path).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(DurableLogTest, AppendsAndReadsBack) {
+  const std::string path = TestPath("log");
+  std::remove(path.c_str());
+  {
+    StatusOr<DurableLogWriter> log = DurableLogWriter::Open(path);
+    ASSERT_TRUE(log.ok()) << log.status();
+    ASSERT_TRUE(log->Append("first record").ok());
+    ASSERT_TRUE(log->Append("").ok());  // empty payloads are legal
+    ASSERT_TRUE(log->Append("third\nwith embedded newline").ok());
+  }
+  StatusOr<DurableLogContents> scan = ReadDurableLog(path);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_FALSE(scan->torn_tail);
+  ASSERT_EQ(scan->records.size(), 3u);
+  EXPECT_EQ(scan->records[0], "first record");
+  EXPECT_EQ(scan->records[1], "");
+  EXPECT_EQ(scan->records[2], "third\nwith embedded newline");
+  std::remove(path.c_str());
+}
+
+TEST(DurableLogTest, ReopenAppendsAfterExistingRecords) {
+  const std::string path = TestPath("log_reopen");
+  std::remove(path.c_str());
+  {
+    StatusOr<DurableLogWriter> log = DurableLogWriter::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("before crash").ok());
+  }
+  {
+    StatusOr<DurableLogWriter> log = DurableLogWriter::Open(path);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append("after restart").ok());
+  }
+  StatusOr<DurableLogContents> scan = ReadDurableLog(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->records.size(), 2u);
+  EXPECT_EQ(scan->records[0], "before crash");
+  EXPECT_EQ(scan->records[1], "after restart");
+  std::remove(path.c_str());
+}
+
+// Truncating the log at every byte offset: all records before the cut
+// survive intact, the frame containing the cut reads as torn (or is simply
+// gone when the cut lands exactly on a frame boundary), and nothing after
+// the cut is ever resurrected.
+TEST(DurableLogTest, TruncationAtEveryOffsetKeepsTheValidPrefix) {
+  const std::string path = TestPath("log_torn");
+  const std::vector<std::string> payloads = {"alpha", "bravo charlie",
+                                             "delta"};
+  std::remove(path.c_str());
+  {
+    StatusOr<DurableLogWriter> log = DurableLogWriter::Open(path);
+    ASSERT_TRUE(log.ok());
+    for (const std::string& p : payloads) ASSERT_TRUE(log->Append(p).ok());
+  }
+  StatusOr<std::string> full = ReadFileToString(path);
+  ASSERT_TRUE(full.ok());
+
+  {
+    StatusOr<DurableLogContents> scan = ReadDurableLog(path);
+    ASSERT_TRUE(scan.ok());
+    ASSERT_EQ(scan->valid_bytes, full->size());
+  }
+
+  for (size_t cut = 0; cut < full->size(); ++cut) {
+    ASSERT_TRUE(AtomicWriteFile(path, full->substr(0, cut)).ok());
+    StatusOr<DurableLogContents> scan = ReadDurableLog(path);
+    ASSERT_TRUE(scan.ok()) << "cut at " << cut << ": " << scan.status();
+    // Every surviving record is a true prefix of what was written.
+    ASSERT_LE(scan->records.size(), payloads.size());
+    for (size_t r = 0; r < scan->records.size(); ++r) {
+      EXPECT_EQ(scan->records[r], payloads[r]) << "cut at " << cut;
+    }
+    // A cut strictly inside a frame must be flagged torn.
+    EXPECT_EQ(scan->torn_tail, cut != scan->valid_bytes)
+        << "cut at " << cut << " valid_bytes " << scan->valid_bytes;
+    EXPECT_LE(scan->valid_bytes, cut);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TruncateFileAtTest, TruncatesRefusesToExtendAndReportsMissing) {
+  const std::string path = TestPath("truncate");
+  ASSERT_TRUE(AtomicWriteFile(path, "0123456789").ok());
+  ASSERT_TRUE(TruncateFileAt(path, 4).ok());
+  StatusOr<std::string> read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "0123");
+  EXPECT_EQ(TruncateFileAt(path, 100).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(TruncateFileAt(TestPath("truncate_missing"), 0).code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rasa

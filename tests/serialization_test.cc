@@ -1,5 +1,9 @@
 #include "cluster/serialization.h"
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
 #include "core/objective.h"
 #include "gtest/gtest.h"
 
@@ -93,6 +97,40 @@ TEST(SerializationTest, RejectsBadPlacementIndices) {
 
 TEST(SerializationTest, MissingFileFails) {
   EXPECT_FALSE(LoadSnapshotFromFile("/nonexistent/foo.snapshot").ok());
+}
+
+// Exhaustive torn-write check: a snapshot file truncated at EVERY byte
+// prefix must load as a clear error (the checksum footer catches what the
+// grammar alone cannot), and the error is an explicit Status — never a
+// crash, never a silently half-loaded cluster.
+TEST(SerializationTest, EveryTruncationPrefixFailsToLoad) {
+  // Small cluster so the byte sweep stays cheap.
+  ClusterSpec spec = M3Spec(512.0);
+  StatusOr<ClusterSnapshot> original = GenerateCluster(spec);
+  ASSERT_TRUE(original.ok());
+  const std::string path =
+      ::testing::TempDir() + "/rasa_serialization_torn.snapshot";
+  ASSERT_TRUE(SaveSnapshotToFile(*original, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string full((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(full.empty());
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    StatusOr<ClusterSnapshot> loaded = LoadSnapshotFromFile(path);
+    EXPECT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes loaded";
+  }
+  // The intact file still loads.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  EXPECT_TRUE(LoadSnapshotFromFile(path).ok());
+  std::remove(path.c_str());
 }
 
 // Replaces the first occurrence of `from` in a serialized snapshot.

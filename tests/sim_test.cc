@@ -175,6 +175,54 @@ TEST_F(SimFixture, AggressiveRollbackThresholdTriggersRollback) {
   EXPECT_FALSE(report->cycles[0].executed);
 }
 
+// Satellite: option ranges are validated up front — RunWorkflow returns
+// kInvalidArgument before touching any state.
+TEST_F(SimFixture, InvalidWorkflowOptionsAreRejectedUpFront) {
+  const AlgorithmSelector selector(SelectorPolicy::kHeuristic);
+  const auto expect_invalid = [&](const WorkflowOptions& options,
+                                  const char* what) {
+    EXPECT_EQ(ValidateWorkflowOptions(options).code(),
+              StatusCode::kInvalidArgument)
+        << what;
+    StatusOr<WorkflowReport> report = RunWorkflow(
+        *snapshot_.cluster, snapshot_.original_placement, selector, options);
+    EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument) << what;
+  };
+
+  WorkflowOptions options;
+  options.cycles = -1;
+  expect_invalid(options, "negative cycles");
+
+  options = WorkflowOptions();
+  options.drift_fraction = -0.25;
+  expect_invalid(options, "negative drift_fraction");
+  options.drift_fraction = 1.5;
+  expect_invalid(options, "drift_fraction > 1");
+
+  options = WorkflowOptions();
+  options.measurement_noise = -0.1;
+  expect_invalid(options, "negative measurement_noise");
+  options.measurement_noise = 2.0;
+  expect_invalid(options, "measurement_noise > 1");
+
+  options = WorkflowOptions();
+  options.max_replans = 0;
+  expect_invalid(options, "non-positive max_replans");
+
+  options = WorkflowOptions();
+  options.resume = true;  // resume without a state_dir
+  expect_invalid(options, "resume without state_dir");
+
+  // The defaults are valid, and zero cycles is a legal no-op.
+  options = WorkflowOptions();
+  EXPECT_TRUE(ValidateWorkflowOptions(options).ok());
+  options.cycles = 0;
+  StatusOr<WorkflowReport> empty = RunWorkflow(
+      *snapshot_.cluster, snapshot_.original_placement, selector, options);
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->cycles.empty());
+}
+
 TEST_F(SimFixture, DryRunThresholdBlocksExecution) {
   WorkflowOptions options;
   options.cycles = 1;

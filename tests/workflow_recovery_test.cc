@@ -1,0 +1,327 @@
+// Chaos-recovery determinism suite (the tentpole acceptance criterion):
+// for every simulated crash point — mid-command, mid-batch, mid-drift,
+// before-checkpoint — and for torn-write truncation of the durable files,
+// recover + resume must finish with zero SLA/feasibility violations and a
+// final placement bit-identical to the uninterrupted run, at 1, 4 and 8
+// solver threads.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/generator.h"
+#include "common/durable_io.h"
+#include "common/logging.h"
+#include "core/objective.h"
+#include "core/recovery.h"
+#include "gtest/gtest.h"
+#include "sim/fault_injection.h"
+#include "sim/workflow.h"
+
+namespace rasa {
+namespace {
+
+constexpr int kThreadCounts[] = {1, 4, 8};
+
+const ClusterSnapshot& TestSnapshot() {
+  static const ClusterSnapshot* snapshot = [] {
+    ClusterSpec spec = M3Spec(16.0);
+    spec.seed = 41;
+    StatusOr<ClusterSnapshot> s = GenerateCluster(spec);
+    EXPECT_TRUE(s.ok());
+    return new ClusterSnapshot(*std::move(s));
+  }();
+  return *snapshot;
+}
+
+WorkflowOptions BaseOptions(int threads) {
+  WorkflowOptions options;
+  options.cycles = 3;
+  // Bounded subproblems plus a generous deadline: the solve finishes well
+  // inside its slice even when ctest runs the whole suite in parallel, so
+  // Deadline::Expired() never fires and the output is bit-reproducible
+  // regardless of machine load (same reasoning as
+  // core_rasa_determinism_test).
+  options.rasa.timeout_seconds = 15.0;
+  options.rasa.partitioning.max_subproblem_services = 12;
+  options.rasa.num_threads = threads;
+  options.seed = 2024;
+  return options;
+}
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/rasa_wf_recovery_" + name;
+  std::remove((dir + "/journal.wal").c_str());
+  std::remove((dir + "/checkpoint").c_str());
+  std::remove((dir + "/checkpoint.prev").c_str());
+  EXPECT_TRUE(EnsureDirectory(dir).ok());
+  return dir;
+}
+
+WorkflowReport MustRun(const WorkflowOptions& options,
+                       const Placement& initial) {
+  StatusOr<WorkflowReport> report = RunWorkflow(
+      *TestSnapshot().cluster, initial,
+      AlgorithmSelector(SelectorPolicy::kHeuristic), options);
+  RASA_CHECK(report.ok()) << report.status().ToString();
+  return *std::move(report);
+}
+
+// The uninterrupted durable run at `threads`, computed once per thread
+// count and shared by every crash scenario.
+const WorkflowReport& Baseline(int threads) {
+  static std::map<int, WorkflowReport>* cache =
+      new std::map<int, WorkflowReport>();
+  auto it = cache->find(threads);
+  if (it == cache->end()) {
+    WorkflowOptions options = BaseOptions(threads);
+    options.state_dir =
+        FreshStateDir("baseline_t" + std::to_string(threads));
+    it = cache
+             ->emplace(threads,
+                       MustRun(options, TestSnapshot().original_placement))
+             .first;
+    EXPECT_FALSE(it->second.crashed);
+    EXPECT_EQ(it->second.sla_violations, 0);
+    EXPECT_EQ(it->second.feasibility_violations, 0);
+  }
+  return it->second;
+}
+
+// Runs to the given crash point (asserting it fired), then resumes from the
+// crashed world and checks the recovery contract: no violations, and the
+// final placement bit-identical to the uninterrupted run.
+void CheckCrashRecovery(const std::string& name, int threads,
+                        const FaultInjectionOptions& crash_faults) {
+  SCOPED_TRACE(name + " threads=" + std::to_string(threads));
+  const WorkflowReport& baseline = Baseline(threads);
+  const std::string dir =
+      FreshStateDir(name + "_t" + std::to_string(threads));
+
+  WorkflowOptions crash_options = BaseOptions(threads);
+  crash_options.state_dir = dir;
+  crash_options.inject_faults = true;
+  crash_options.faults = crash_faults;
+  const WorkflowReport crashed =
+      MustRun(crash_options, TestSnapshot().original_placement);
+  ASSERT_TRUE(crashed.crashed) << "crash point never fired";
+
+  // Restart: the new controller observes the dead one's live placement.
+  WorkflowOptions resume_options = BaseOptions(threads);
+  resume_options.state_dir = dir;
+  resume_options.resume = true;
+  const WorkflowReport resumed =
+      MustRun(resume_options, crashed.final_placement);
+
+  EXPECT_FALSE(resumed.crashed);
+  EXPECT_GE(resumed.resumed_cycle, 0);
+  EXPECT_TRUE(resumed.recovery.recovered);
+  EXPECT_EQ(resumed.sla_violations, 0);
+  EXPECT_EQ(resumed.feasibility_violations, 0);
+  EXPECT_EQ(resumed.final_placement.DiffCount(baseline.final_placement), 0)
+      << "recovered placement diverged from the uninterrupted run";
+  EXPECT_DOUBLE_EQ(
+      GainedAffinity(*TestSnapshot().cluster, resumed.final_placement),
+      GainedAffinity(*TestSnapshot().cluster, baseline.final_placement));
+  EXPECT_TRUE(resumed.final_placement.CheckFeasible(false).ok());
+}
+
+// Durable mode must not perturb the control loop: with a state directory
+// attached (checkpoints + journal active) the run draws the identical
+// random sequence and lands on the identical final placement.
+TEST(WorkflowRecoveryTest, DurableRunMatchesInMemoryRun) {
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE(threads);
+    const WorkflowReport in_memory =
+        MustRun(BaseOptions(threads), TestSnapshot().original_placement);
+    const WorkflowReport& durable = Baseline(threads);
+    EXPECT_EQ(
+        in_memory.final_placement.DiffCount(durable.final_placement), 0);
+    EXPECT_EQ(in_memory.executions, durable.executions);
+    EXPECT_EQ(in_memory.dry_runs, durable.dry_runs);
+  }
+}
+
+// The optimizer pipeline is thread-count deterministic, so the recovery
+// baseline itself must agree across 1/4/8 threads.
+TEST(WorkflowRecoveryTest, BaselineIdenticalAcrossThreadCounts) {
+  const WorkflowReport& one = Baseline(1);
+  for (int threads : {4, 8}) {
+    EXPECT_EQ(
+        Baseline(threads).final_placement.DiffCount(one.final_placement), 0)
+        << threads << " threads";
+  }
+}
+
+TEST(WorkflowRecoveryTest, CrashMidCommandInFirstCycle) {
+  for (int threads : kThreadCounts) {
+    FaultInjectionOptions faults;
+    faults.crash_after_commands = 7;  // dies inside cycle 0's first batches
+    CheckCrashRecovery("mid_command", threads, faults);
+  }
+}
+
+TEST(WorkflowRecoveryTest, CrashMidCommandInLaterCycle) {
+  for (int threads : kThreadCounts) {
+    // Land mid-way through cycle 1's execution: past all of cycle 0's
+    // commands (taken from the baseline report) plus half of cycle 1's.
+    const WorkflowReport& baseline = Baseline(threads);
+    ASSERT_GE(baseline.cycles.size(), 2u);
+    const long c0 = baseline.cycles[0].moved_containers;
+    const long c1 = baseline.cycles[1].moved_containers;
+    ASSERT_GT(c1, 1);
+    FaultInjectionOptions faults;
+    faults.crash_after_commands = c0 + c1 / 2;
+    CheckCrashRecovery("mid_command_late", threads, faults);
+  }
+}
+
+TEST(WorkflowRecoveryTest, CrashMidBatchBeforeCommit) {
+  for (int threads : kThreadCounts) {
+    FaultInjectionOptions faults;
+    // Dies after a batch fully applied + audited, before its commit record
+    // reached the journal: recovery must classify that batch from the
+    // observed placement, not the journal.
+    faults.crash_after_batches = 2;
+    CheckCrashRecovery("mid_batch", threads, faults);
+  }
+}
+
+TEST(WorkflowRecoveryTest, CrashMidDrift) {
+  for (int threads : kThreadCounts) {
+    FaultInjectionOptions faults;
+    faults.crash_after_drift_moves = 3;  // dies applying cycle 0's drift
+    CheckCrashRecovery("mid_drift", threads, faults);
+  }
+}
+
+TEST(WorkflowRecoveryTest, CrashBeforeCheckpoint) {
+  for (int threads : kThreadCounts) {
+    FaultInjectionOptions faults;
+    // The whole of cycle 1 (execution, drift) is applied and journaled but
+    // the checkpoint write never happens: resume replays it entirely from
+    // the journal.
+    faults.crash_before_checkpoint_cycle = 1;
+    CheckCrashRecovery("pre_checkpoint", threads, faults);
+  }
+}
+
+// Crash mid-batch, then additionally tear the journal tail at several byte
+// offsets (the crash also corrupted the last append). Recovery classifies
+// the lost work from the observed placement and still converges to the
+// uninterrupted final placement.
+TEST(WorkflowRecoveryTest, TornJournalTailStillRecovers) {
+  const int threads = 1;
+  const WorkflowReport& baseline = Baseline(threads);
+
+  for (const size_t cut_back : {1u, 19u, 64u}) {
+    SCOPED_TRACE(cut_back);
+    const std::string dir =
+        FreshStateDir("torn_journal_" + std::to_string(cut_back));
+    WorkflowOptions crash_options = BaseOptions(threads);
+    crash_options.state_dir = dir;
+    crash_options.inject_faults = true;
+    crash_options.faults.crash_after_batches = 3;
+    const WorkflowReport crashed =
+        MustRun(crash_options, TestSnapshot().original_placement);
+    ASSERT_TRUE(crashed.crashed);
+
+    StatusOr<std::string> journal = ReadFileToString(dir + "/journal.wal");
+    ASSERT_TRUE(journal.ok());
+    ASSERT_GT(journal->size(), cut_back);
+    ASSERT_TRUE(
+        TruncateFileAt(dir + "/journal.wal", journal->size() - cut_back)
+            .ok());
+
+    WorkflowOptions resume_options = BaseOptions(threads);
+    resume_options.state_dir = dir;
+    resume_options.resume = true;
+    const WorkflowReport resumed =
+        MustRun(resume_options, crashed.final_placement);
+    EXPECT_EQ(resumed.sla_violations, 0);
+    EXPECT_EQ(resumed.feasibility_violations, 0);
+    EXPECT_EQ(resumed.final_placement.DiffCount(baseline.final_placement),
+              0);
+  }
+}
+
+// Tear the *current* checkpoint after a clean run: resume falls back to
+// checkpoint.prev and replays the missing cycle from the journal, landing
+// on the identical final placement.
+TEST(WorkflowRecoveryTest, TornCheckpointFallsBackToPrevious) {
+  const int threads = 1;
+  const std::string dir = FreshStateDir("torn_checkpoint");
+  WorkflowOptions options = BaseOptions(threads);
+  options.state_dir = dir;
+  const WorkflowReport clean =
+      MustRun(options, TestSnapshot().original_placement);
+  ASSERT_FALSE(clean.crashed);
+
+  StatusOr<std::string> checkpoint = ReadFileToString(dir + "/checkpoint");
+  StatusOr<std::string> previous =
+      ReadFileToString(dir + "/checkpoint.prev");
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_TRUE(previous.ok());
+  for (const size_t cut : {size_t{0}, checkpoint->size() / 2,
+                           checkpoint->size() - 1}) {
+    SCOPED_TRACE(cut);
+    // Restore the crash scene each round: the previous resume rotated the
+    // torn current file into checkpoint.prev when it re-checkpointed.
+    ASSERT_TRUE(AtomicWriteFile(dir + "/checkpoint",
+                                checkpoint->substr(0, cut))
+                    .ok());
+    ASSERT_TRUE(AtomicWriteFile(dir + "/checkpoint.prev", *previous).ok());
+    WorkflowOptions resume_options = BaseOptions(threads);
+    resume_options.state_dir = dir;
+    resume_options.resume = true;
+    const WorkflowReport resumed =
+        MustRun(resume_options, clean.final_placement);
+    EXPECT_TRUE(resumed.recovery.used_previous_checkpoint);
+    EXPECT_EQ(resumed.sla_violations, 0);
+    EXPECT_EQ(resumed.feasibility_violations, 0);
+    EXPECT_EQ(resumed.final_placement.DiffCount(clean.final_placement), 0);
+  }
+}
+
+// Resuming a cleanly finished run is a no-op: nothing to replay, nothing
+// changed, and the recovery stats say so.
+TEST(WorkflowRecoveryTest, ResumeAfterCleanShutdownIsANoOp) {
+  const int threads = 1;
+  const WorkflowReport& baseline = Baseline(threads);
+  const std::string dir = "baseline_t1";  // reuse the baseline's state dir
+  WorkflowOptions resume_options = BaseOptions(threads);
+  resume_options.state_dir =
+      ::testing::TempDir() + "/rasa_wf_recovery_" + dir;
+  resume_options.resume = true;
+  const WorkflowReport resumed =
+      MustRun(resume_options, baseline.final_placement);
+  EXPECT_EQ(resumed.resumed_cycle, 3);
+  EXPECT_TRUE(resumed.cycles.empty());
+  EXPECT_EQ(resumed.recovery.cycles_completed_from_journal, 0);
+  EXPECT_EQ(resumed.final_placement.DiffCount(baseline.final_placement), 0);
+  // Counters carried over from the checkpoint, not reset.
+  EXPECT_EQ(resumed.executions, baseline.executions);
+  EXPECT_EQ(resumed.dry_runs, baseline.dry_runs);
+}
+
+// The `recover` inspection must work on a live crash scene.
+TEST(WorkflowRecoveryTest, InspectionOfACrashedRun) {
+  const int threads = 1;
+  const std::string dir = FreshStateDir("inspect_crash");
+  WorkflowOptions crash_options = BaseOptions(threads);
+  crash_options.state_dir = dir;
+  crash_options.inject_faults = true;
+  crash_options.faults.crash_after_commands = 7;
+  const WorkflowReport crashed =
+      MustRun(crash_options, TestSnapshot().original_placement);
+  ASSERT_TRUE(crashed.crashed);
+
+  StatusOr<std::string> text = FormatRecoveryInspection(dir);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("IN FLIGHT"), std::string::npos) << *text;
+  EXPECT_NE(text->find("command classification"), std::string::npos);
+  EXPECT_NE(text->find("--resume"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rasa
