@@ -65,6 +65,15 @@ StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
       static Histogram& patterns = reg.GetHistogram("pool.cg_patterns");
       rounds.Observe(static_cast<double>(cg_stats.rounds));
       patterns.Observe(static_cast<double>(cg_stats.patterns_generated));
+      // Solver-core introspection: master basis reuse across CG rounds.
+      static Counter& masters = reg.GetCounter("solver.cg_master_solves");
+      static Counter& warm = reg.GetCounter("solver.cg_master_warm_started");
+      static Counter& refactor = reg.GetCounter("solver.refactorizations");
+      static Histogram& eta = reg.GetHistogram("solver.max_eta_length");
+      masters.Increment(static_cast<uint64_t>(cg_stats.master_solves));
+      warm.Increment(static_cast<uint64_t>(cg_stats.master_warm_started));
+      refactor.Increment(static_cast<uint64_t>(cg_stats.refactorizations));
+      eta.Observe(static_cast<double>(cg_stats.max_eta_length));
       if (stats != nullptr) {
         stats->has_cg = true;
         stats->cg = cg_stats;

@@ -18,6 +18,10 @@ namespace {
 struct Pattern {
   std::vector<int> counts;
   double value = 0.0;  // v(p): gained affinity internal to the machine
+  // Stable identity across master rebuilds: column management reorders and
+  // drops patterns between rounds, so warm-starting the next master needs
+  // to map the old basis onto the new column order by uid, not by index.
+  int uid = -1;
 };
 
 // Per-machine static context for pattern feasibility and value.
@@ -73,6 +77,15 @@ class CgSolver {
   // Adjacency restricted to the subproblem, in local ids.
   std::vector<std::vector<std::pair<int, double>>> local_adj_;
   CgStats stats_;
+
+  // Pattern uid allocator (PricePattern is const but still mints patterns).
+  mutable int next_pattern_uid_ = 0;
+  // Basis of the last optimal master plus the pattern uid behind each of
+  // its structural columns; rows (M convexity + S demand) are stable
+  // across rounds, so this is enough to warm-start the next master.
+  LpBasis master_basis_;
+  std::vector<int> master_basis_uids_;
+  bool has_master_basis_ = false;
 };
 
 void CgSolver::BuildContexts() {
@@ -163,6 +176,7 @@ Pattern CgSolver::PatternFromCounts(std::vector<int> counts) const {
   Pattern p;
   p.value = PatternValue(counts);
   p.counts = std::move(counts);
+  p.uid = next_pattern_uid_++;
   return p;
 }
 
@@ -336,16 +350,87 @@ bool CgSolver::SolveMaster(std::vector<std::vector<double>>& y,
                          std::move(terms));
   }
 
+  // The pattern uid behind every structural master column, in column
+  // order. Columns are appended machine-by-machine, so var[j][l] is
+  // sequential; this is the key for translating bases across rounds.
+  const int num_cols = master.num_variables();
+  std::vector<int> uid_of_col(num_cols, -1);
+  for (int j = 0; j < M(); ++j) {
+    for (size_t l = 0; l < patterns_[j].size(); ++l) {
+      uid_of_col[var[j][l]] = patterns_[j][l].uid;
+    }
+  }
+
+  // Translate the previous optimal basis into this master's column order.
+  // Appended columns enter nonbasic at their lower bound (y = 0), which
+  // leaves the carried basic point unchanged; only dual feasibility can
+  // break, so the warm solve typically resumes straight into phase 2.
+  // If column management dropped a pattern that was basic, the basis no
+  // longer covers the rows and this round goes cold.
+  LpBasis warm;
+  bool have_warm = false;
+  if (has_master_basis_) {
+    const int old_n = static_cast<int>(master_basis_uids_.size());
+    const int rows = M() + S();
+    std::unordered_map<int, int> col_of_uid;
+    col_of_uid.reserve(num_cols);
+    for (int c = 0; c < num_cols; ++c) col_of_uid[uid_of_col[c]] = c;
+    have_warm = true;
+    warm.basic.reserve(master_basis_.basic.size());
+    for (int b : master_basis_.basic) {
+      if (b < 0) {  // artificial covering a (stable) row
+        warm.basic.push_back(b);
+        continue;
+      }
+      if (b >= old_n) {  // slack: rows are stable, reindex to the new n
+        warm.basic.push_back(num_cols + (b - old_n));
+        continue;
+      }
+      auto it = col_of_uid.find(master_basis_uids_[b]);
+      if (it == col_of_uid.end()) {
+        have_warm = false;  // basic pattern dropped: cold round
+        break;
+      }
+      warm.basic.push_back(it->second);
+    }
+    if (have_warm) {
+      warm.state.assign(num_cols + rows, LpVarStatus::kAtLower);
+      for (int c = 0; c < old_n; ++c) {
+        auto it = col_of_uid.find(master_basis_uids_[c]);
+        if (it != col_of_uid.end()) {
+          warm.state[it->second] = master_basis_.state[c];
+        }
+      }
+      for (int r = 0; r < rows; ++r) {
+        warm.state[num_cols + r] = master_basis_.state[old_n + r];
+      }
+    }
+  }
+
   LpOptions lp_options;
   lp_options.deadline = options_.deadline;
+  lp_options.warm_basis = have_warm ? &warm : nullptr;
+  LpBasis final_basis;
+  lp_options.result_basis = &final_basis;
   LpResult lp = SolveLp(master, lp_options);
   ++stats_.master_solves;
   stats_.lp_iterations += lp.iterations;
   stats_.lp_phase1_iterations += lp.phase1_iterations;
+  stats_.refactorizations += lp.refactorizations;
+  stats_.max_eta_length = std::max(stats_.max_eta_length, lp.max_eta_length);
+  if (lp.warm_started) ++stats_.master_warm_started;
   if (lp.status == LpStatus::kOptimal) {
     // Last fully solved master wins: the dual estimate reported upstream.
     stats_.lp_objective = lp.objective;
     stats_.has_lp_bound = true;
+  }
+  if (lp.status == LpStatus::kOptimal && !final_basis.empty()) {
+    master_basis_ = std::move(final_basis);
+    master_basis_uids_ = std::move(uid_of_col);
+    has_master_basis_ = true;
+  } else {
+    // Interrupted or dense-kernel solve: no basis to carry forward.
+    has_master_basis_ = false;
   }
   if (lp.status != LpStatus::kOptimal &&
       lp.status != LpStatus::kIterationLimit &&

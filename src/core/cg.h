@@ -44,6 +44,15 @@ struct CgStats {
   /// Simplex pivots across all master solves, with the phase-1 share.
   int lp_iterations = 0;
   int lp_phase1_iterations = 0;
+  /// Master solves that accepted the previous round's basis (the hit-rate
+  /// denominator is master_solves; the first master is always cold, and a
+  /// round goes cold whenever column management dropped a basic pattern).
+  int master_warm_started = 0;
+  /// Basis refactorizations summed over all master solves (revised
+  /// simplex; 0 when the masters were small enough for the dense kernel).
+  int refactorizations = 0;
+  /// Longest eta file reached in any master solve (revised simplex).
+  int max_eta_length = 0;
 };
 
 /// The column-generation pool algorithm (§IV-C2, Algorithm 1).

@@ -36,6 +36,9 @@ void AppendAttemptJson(JsonWriter& w, const SolveAttempt& attempt,
     w.Key("hit_deadline").Value(attempt.cg.hit_deadline);
     w.Key("lp_iterations").Value(attempt.cg.lp_iterations);
     w.Key("lp_phase1_iterations").Value(attempt.cg.lp_phase1_iterations);
+    w.Key("master_warm_started").Value(attempt.cg.master_warm_started);
+    w.Key("refactorizations").Value(attempt.cg.refactorizations);
+    w.Key("max_eta_length").Value(attempt.cg.max_eta_length);
     w.Key("has_lp_bound").Value(attempt.cg.has_lp_bound);
     if (attempt.cg.has_lp_bound) {
       w.Key("lp_objective").Value(attempt.cg.lp_objective);
@@ -52,6 +55,10 @@ void AppendAttemptJson(JsonWriter& w, const SolveAttempt& attempt,
     w.Key("relative_gap").Value(attempt.mip.relative_gap);
     w.Key("nodes").Value(attempt.mip.nodes);
     w.Key("lp_iterations").Value(attempt.mip.lp_iterations);
+    w.Key("warm_started_nodes").Value(attempt.mip.warm_started_nodes);
+    w.Key("max_node_pivots").Value(attempt.mip.max_node_pivots);
+    w.Key("refactorizations").Value(attempt.mip.refactorizations);
+    w.Key("max_eta_length").Value(attempt.mip.max_eta_length);
     if (attempt.mip.has_root_lp) {
       w.Key("root_lp_objective").Value(attempt.mip.root_lp_objective);
     }
@@ -96,6 +103,10 @@ std::string FormatAttemptBrief(const SolveAttempt& a) {
   if (a.has_cg) {
     out += StrFormat(" (rounds=%d patterns=%d lp_it=%d", a.cg.rounds,
                      a.cg.patterns_generated, a.cg.lp_iterations);
+    if (a.cg.master_warm_started > 0) {
+      out += StrFormat(" warm=%d/%d", a.cg.master_warm_started,
+                       a.cg.master_solves);
+    }
     if (a.cg.has_lp_bound) out += StrFormat(" lp_bound=%.6f", a.cg.lp_objective);
     out += ")";
   }
@@ -103,6 +114,9 @@ std::string FormatAttemptBrief(const SolveAttempt& a) {
     out += StrFormat(" (%s nodes=%d gap=%.2g%s", MipStatusToString(a.mip.status),
                      a.mip.nodes, a.mip.relative_gap,
                      a.mip.bound_proven ? " proven" : "");
+    if (a.mip.warm_started_nodes > 0) {
+      out += StrFormat(" warm=%d/%d", a.mip.warm_started_nodes, a.mip.nodes);
+    }
     out += ")";
   }
   return out;

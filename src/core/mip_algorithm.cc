@@ -28,6 +28,10 @@ void FillMipStats(const MipResult& result, SubproblemMipStats* stats) {
   stats->relative_gap = result.has_solution() ? result.Gap() : 0.0;
   stats->nodes = result.nodes_explored;
   stats->lp_iterations = result.lp_iterations;
+  stats->warm_started_nodes = result.warm_started_nodes;
+  stats->max_node_pivots = result.max_node_pivots;
+  stats->refactorizations = result.refactorizations;
+  stats->max_eta_length = result.max_eta_length;
 }
 
 // Solver-quality metrics of one subproblem MIP solve (observation-only).
@@ -41,6 +45,18 @@ void RecordMipMetrics(const MipResult& result) {
   if (result.has_solution()) gap.Observe(result.Gap());
   nodes.Observe(static_cast<double>(result.nodes_explored));
   iterations.Observe(static_cast<double>(result.lp_iterations));
+  // Solver-core (revised simplex) introspection: warm-start hit rate is
+  // solver.warm_started_nodes / solver.bnb_nodes on the scrape side.
+  static Counter& warm_nodes = reg.GetCounter("solver.warm_started_nodes");
+  static Counter& bnb_nodes = reg.GetCounter("solver.bnb_nodes");
+  static Counter& refactorizations = reg.GetCounter("solver.refactorizations");
+  static Histogram& eta = reg.GetHistogram("solver.max_eta_length");
+  static Histogram& node_pivots = reg.GetHistogram("solver.max_node_pivots");
+  warm_nodes.Increment(static_cast<uint64_t>(result.warm_started_nodes));
+  bnb_nodes.Increment(static_cast<uint64_t>(result.nodes_explored));
+  refactorizations.Increment(static_cast<uint64_t>(result.refactorizations));
+  eta.Observe(static_cast<double>(result.max_eta_length));
+  node_pivots.Observe(static_cast<double>(result.max_node_pivots));
 }
 
 }  // namespace

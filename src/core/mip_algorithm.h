@@ -31,6 +31,15 @@ struct SubproblemMipStats {
   double relative_gap = 0.0;
   int nodes = 0;
   int lp_iterations = 0;
+  /// Node LPs that accepted a parent-basis warm start (revised simplex;
+  /// the root is always cold, so the hit-rate denominator is nodes - 1).
+  int warm_started_nodes = 0;
+  /// Largest single node-LP pivot count.
+  int max_node_pivots = 0;
+  /// Basis refactorizations / longest eta file across all node LP solves
+  /// (both 0 when every node LP ran on the dense kernel).
+  int refactorizations = 0;
+  int max_eta_length = 0;
 };
 
 struct MipAlgorithmOptions {

@@ -1,0 +1,115 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rasa {
+
+bool BasisFactorization::Refactorize(
+    int m, const std::vector<SparseColumnView>& basis_columns) {
+  m_ = m;
+  valid_ = false;
+  etas_.clear();
+  fill_nnz_ = 0;
+  pivot_row_of_.assign(m, -1);
+  scratch_.assign(m, 0.0);
+  std::vector<char> row_used(m, 0);
+
+  for (int k = 0; k < m; ++k) {
+    std::fill(scratch_.begin(), scratch_.end(), 0.0);
+    for (const SparseEntry& e : basis_columns[k]) {
+      scratch_[e.row] += e.value;
+    }
+    ApplyEtasInPlace(scratch_);
+    // Partial pivoting: the largest remaining magnitude; the lowest row on
+    // ties (strict > keeps the scan deterministic).
+    int pivot = -1;
+    double best = options_.singular_tol;
+    for (int r = 0; r < m; ++r) {
+      if (row_used[r]) continue;
+      const double mag = std::abs(scratch_[r]);
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (pivot < 0) return false;  // numerically singular column set
+    row_used[pivot] = 1;
+    pivot_row_of_[k] = pivot;
+    AppendEta(pivot, scratch_);
+  }
+  valid_ = true;
+  return true;
+}
+
+void BasisFactorization::ApplyEtasInPlace(std::vector<double>& x) const {
+  for (const Eta& eta : etas_) {
+    const double xp = x[eta.pivot_row] / eta.pivot_value;
+    x[eta.pivot_row] = xp;
+    if (xp == 0.0) continue;  // exact sparsity shortcut
+    for (const SparseEntry& e : eta.off) {
+      x[e.row] -= e.value * xp;
+    }
+  }
+}
+
+void BasisFactorization::AppendEta(int pivot_row,
+                                   const std::vector<double>& dense) {
+  Eta eta;
+  eta.pivot_row = pivot_row;
+  eta.pivot_value = dense[pivot_row];
+  for (int r = 0; r < m_; ++r) {
+    if (r == pivot_row) continue;
+    const double v = dense[r];
+    if (std::abs(v) > options_.drop_tol) eta.off.push_back({r, v});
+  }
+  fill_nnz_ += 1 + eta.off.size();
+  etas_.push_back(std::move(eta));
+}
+
+void BasisFactorization::FtranColumn(SparseColumnView a,
+                                     std::vector<double>& w) {
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  for (const SparseEntry& e : a) scratch_[e.row] += e.value;
+  ApplyEtasInPlace(scratch_);
+  w.resize(m_);
+  for (int k = 0; k < m_; ++k) w[k] = scratch_[pivot_row_of_[k]];
+}
+
+void BasisFactorization::FtranDense(std::vector<double>& rhs,
+                                    std::vector<double>& w) {
+  scratch_ = rhs;
+  ApplyEtasInPlace(scratch_);
+  w.resize(m_);
+  for (int k = 0; k < m_; ++k) w[k] = scratch_[pivot_row_of_[k]];
+}
+
+void BasisFactorization::Btran(const std::vector<double>& c,
+                               std::vector<double>& y) {
+  y.assign(m_, 0.0);
+  for (int k = 0; k < m_; ++k) y[pivot_row_of_[k]] = c[k];
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = y[it->pivot_row];
+    for (const SparseEntry& e : it->off) acc -= e.value * y[e.row];
+    y[it->pivot_row] = acc / it->pivot_value;
+  }
+}
+
+void BasisFactorization::BtranUnit(int position, std::vector<double>& rho) {
+  rho.assign(m_, 0.0);
+  rho[pivot_row_of_[position]] = 1.0;
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = rho[it->pivot_row];
+    for (const SparseEntry& e : it->off) acc -= e.value * rho[e.row];
+    rho[it->pivot_row] = acc / it->pivot_value;
+  }
+}
+
+bool BasisFactorization::Update(int position, double min_pivot) {
+  const int pivot_row = pivot_row_of_[position];
+  if (std::abs(scratch_[pivot_row]) < min_pivot) return false;
+  AppendEta(pivot_row, scratch_);
+  return true;
+}
+
+}  // namespace rasa

@@ -1,0 +1,113 @@
+#ifndef RASA_LINALG_SPARSE_H_
+#define RASA_LINALG_SPARSE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rasa {
+
+/// One nonzero of a sparse column or vector: the row index and the value.
+struct SparseEntry {
+  int row = 0;
+  double value = 0.0;
+};
+
+/// A sparse column as a contiguous view into someone else's storage. Cheap
+/// to copy; valid only while the backing storage is alive and unmodified.
+struct SparseColumnView {
+  const SparseEntry* data = nullptr;
+  int size = 0;
+
+  const SparseEntry* begin() const { return data; }
+  const SparseEntry* end() const { return data + size; }
+};
+
+/// Basis "factorization" in product form (eta file): the inverse of the
+/// current basis B is represented as
+///
+///   B^{-1} = Q^T * E_K^{-1} * ... * E_1^{-1}
+///
+/// where each E_k is an eta matrix (identity with one column replaced) and
+/// Q is the row permutation accumulated while pivoting. A refactorization
+/// rebuilds the file from the basis columns by Gauss-Jordan elimination
+/// with partial (largest-magnitude, lowest-row tie-break) pivoting, which
+/// is deterministic; a pivot update appends exactly one eta. FTRAN solves
+/// B w = a, BTRAN solves B^T y = c. All kernels touch only the nonzeros of
+/// the eta vectors, so cost tracks the fill of the factorization rather
+/// than m^2.
+///
+/// The class is agnostic to what the basis columns are; callers pass views
+/// into their own column storage at refactorization time.
+class BasisFactorization {
+ public:
+  struct Options {
+    /// A pivot below this is treated as singular during refactorization.
+    double singular_tol = 1e-11;
+    /// Eta entries with magnitude below this are dropped (except pivots).
+    double drop_tol = 1e-13;
+  };
+
+  BasisFactorization() = default;
+  explicit BasisFactorization(Options options) : options_(options) {}
+
+  /// Rebuilds the eta file from scratch for the m columns provided by
+  /// `column_of(position)`. Returns false (leaving the factorization
+  /// unusable) if the column set is numerically singular.
+  bool Refactorize(int m,
+                   const std::vector<SparseColumnView>& basis_columns);
+
+  /// True after a successful Refactorize.
+  bool valid() const { return valid_; }
+  int dimension() const { return m_; }
+
+  /// FTRAN: solves B w = a for a sparse right-hand side. `w` is returned
+  /// over *basis positions* (w[k] pairs with basis column k); the row-space
+  /// intermediate is left in `row_scratch` for a subsequent Update.
+  void FtranColumn(SparseColumnView a, std::vector<double>& w);
+
+  /// FTRAN for a dense row-space right-hand side (e.g. b - N x_N). The
+  /// input is consumed; the result is over basis positions.
+  void FtranDense(std::vector<double>& rhs, std::vector<double>& w);
+
+  /// BTRAN: solves B^T y = c where `c` is given over basis positions
+  /// (c[k] pairs with basis column k). `y` is a dense row-space vector.
+  void Btran(const std::vector<double>& c, std::vector<double>& y);
+
+  /// Row-space solve of B^T rho = e_{position}: the vector whose dots with
+  /// the nonbasic columns form row `position` of B^{-1}N (dual pricing).
+  void BtranUnit(int position, std::vector<double>& rho);
+
+  /// Replaces the basis column at `position` with the column whose FTRAN
+  /// was just computed by FtranColumn/FtranDense (its row-space image is
+  /// still in the internal scratch). Appends one eta. Returns false when
+  /// the pivot element is smaller than `min_pivot` — the caller should
+  /// refactorize instead of updating.
+  bool Update(int position, double min_pivot);
+
+  /// Number of etas currently in the file (m after a refactorization).
+  int eta_count() const { return static_cast<int>(etas_.size()); }
+  /// Total nonzeros across the eta file (the factorization fill).
+  size_t fill_nnz() const { return fill_nnz_; }
+
+ private:
+  struct Eta {
+    int pivot_row = 0;
+    double pivot_value = 1.0;
+    std::vector<SparseEntry> off;  // entries in rows != pivot_row
+  };
+
+  void ApplyEtasInPlace(std::vector<double>& x) const;
+  void AppendEta(int pivot_row, const std::vector<double>& dense);
+
+  Options options_;
+  int m_ = 0;
+  bool valid_ = false;
+  std::vector<Eta> etas_;
+  size_t fill_nnz_ = 0;
+  std::vector<int> pivot_row_of_;  // basis position -> pivot row
+  std::vector<double> scratch_;    // row-space work vector
+};
+
+}  // namespace rasa
+
+#endif  // RASA_LINALG_SPARSE_H_

@@ -16,6 +16,7 @@ int LpModel::AddVariable(double lower, double upper, double objective,
   integer_.push_back(false);
   if (name.empty()) name = StrFormat("x%d", num_variables() - 1);
   var_names_.push_back(std::move(name));
+  columns_built_ = false;
   return num_variables() - 1;
 }
 
@@ -48,7 +49,29 @@ int LpModel::AddConstraint(ConstraintType type, double rhs,
   rows_.push_back(std::move(merged));
   if (name.empty()) name = StrFormat("c%d", num_constraints() - 1);
   row_names_.push_back(std::move(name));
+  columns_built_ = false;
   return num_constraints() - 1;
+}
+
+void LpModel::EnsureColumns() const {
+  if (columns_built_) return;
+  const int n = num_variables();
+  std::vector<int> counts(n + 1, 0);
+  for (const std::vector<LinearTerm>& row : rows_) {
+    for (const LinearTerm& t : row) ++counts[t.variable + 1];
+  }
+  col_start_.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) col_start_[v + 1] = col_start_[v] + counts[v + 1];
+  col_entries_.assign(col_start_[n], SparseEntry{});
+  std::vector<int> cursor(col_start_.begin(), col_start_.end() - 1);
+  // Rows are scanned in index order, so each column's entries come out
+  // sorted by row with no duplicates (AddConstraint merged them).
+  for (int c = 0; c < num_constraints(); ++c) {
+    for (const LinearTerm& t : rows_[c]) {
+      col_entries_[cursor[t.variable]++] = {c, t.coefficient};
+    }
+  }
+  columns_built_ = true;
 }
 
 void LpModel::SetObjectiveCoefficient(int variable, double coefficient) {

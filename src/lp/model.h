@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "linalg/sparse.h"
 
 namespace rasa {
 
@@ -76,7 +77,20 @@ class LpModel {
   /// Structural validation (finite rhs, lower <= upper, indices in range).
   Status Validate() const;
 
+  /// Column-wise (CSC) view of the constraint matrix, the layout the
+  /// revised simplex prices and FTRANs against. Compiled lazily from the
+  /// row-wise storage on first use and cached; adding a variable or a
+  /// constraint invalidates the cache, bound/objective edits do not.
+  /// Not safe to build concurrently from multiple threads (per-solve
+  /// models are single-threaded scratch everywhere in this codebase).
+  SparseColumnView column(int v) const {
+    EnsureColumns();
+    return {col_entries_.data() + col_start_[v],
+            col_start_[v + 1] - col_start_[v]};
+  }
+
  private:
+  void EnsureColumns() const;
   ObjectiveSense sense_ = ObjectiveSense::kMinimize;
   std::vector<double> lower_;
   std::vector<double> upper_;
@@ -88,6 +102,11 @@ class LpModel {
   std::vector<double> rhs_;
   std::vector<std::vector<LinearTerm>> rows_;
   std::vector<std::string> row_names_;
+
+  // Lazily compiled CSC cache (see column()).
+  mutable bool columns_built_ = false;
+  mutable std::vector<int> col_start_;
+  mutable std::vector<SparseEntry> col_entries_;
 };
 
 }  // namespace rasa

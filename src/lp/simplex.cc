@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "lp/revised_simplex.h"
 
 namespace rasa {
 
@@ -526,9 +527,37 @@ LpResult Simplex::Solve() {
 
 }  // namespace
 
-LpResult SolveLp(const LpModel& model, const LpOptions& options) {
+const char* LpAlgorithmToString(LpAlgorithm algorithm) {
+  switch (algorithm) {
+    case LpAlgorithm::kRevised:
+      return "revised";
+    case LpAlgorithm::kDenseTableau:
+      return "dense_tableau";
+  }
+  return "unknown";
+}
+
+LpResult SolveLpDenseTableau(const LpModel& model, const LpOptions& options) {
   Simplex solver(model, options);
   return solver.Solve();
+}
+
+LpResult SolveLp(const LpModel& model, const LpOptions& options) {
+  if (options.algorithm == LpAlgorithm::kDenseTableau) {
+    return SolveLpDenseTableau(model, options);
+  }
+  if (options.dense_size_cutoff > 0 &&
+      model.num_constraints() <= options.dense_size_cutoff &&
+      model.num_variables() <= 2 * options.dense_size_cutoff) {
+    return SolveLpDenseTableau(model, options);
+  }
+  LpResult result = SolveLpRevised(model, options);
+  if (result.status == LpStatus::kError) {
+    // The revised path never silently degrades an answer: on a numerical
+    // failure the battle-tested dense tableau gets the final word.
+    return SolveLpDenseTableau(model, options);
+  }
+  return result;
 }
 
 }  // namespace rasa

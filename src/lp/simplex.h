@@ -1,6 +1,7 @@
 #ifndef RASA_LP_SIMPLEX_H_
 #define RASA_LP_SIMPLEX_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "common/timer.h"
@@ -19,6 +20,44 @@ enum class LpStatus {
 
 const char* LpStatusToString(LpStatus status);
 
+/// Which simplex implementation SolveLp dispatches to.
+enum class LpAlgorithm {
+  /// Sparse revised simplex with a maintained eta-file factorization and
+  /// warm-start support. The default.
+  kRevised,
+  /// The original dense-tableau two-phase simplex (dense basis inverse).
+  /// Kept selectable for differential testing and as an automatic
+  /// fallback when the revised path reports kError.
+  kDenseTableau,
+};
+
+const char* LpAlgorithmToString(LpAlgorithm algorithm);
+
+/// Status of one column (structural variable or slack) in a simplex basis.
+enum class LpVarStatus : uint8_t {
+  kAtLower = 0,
+  kAtUpper = 1,
+  kBasic = 2,
+  /// Free variable resting at zero.
+  kFreeZero = 3,
+};
+
+/// A simplex basis snapshot in model space, usable to warm-start a later
+/// solve of a model with the same constraint rows (bounds, objective and
+/// appended columns may differ). Column indexing: 0..n-1 are the model's
+/// structural variables, n..n+m-1 are the slack of rows 0..m-1.
+struct LpBasis {
+  /// For each basis position, the basic column in the indexing above, or
+  /// -(1 + row) when the solver had a (zero-valued) artificial covering
+  /// `row` left in the basis (redundant row); warm starts re-synthesize a
+  /// fixed artificial there.
+  std::vector<int> basic;
+  /// Status of every structural and slack column, size n + m.
+  std::vector<LpVarStatus> state;
+
+  bool empty() const { return basic.empty(); }
+};
+
 struct LpOptions {
   /// Hard cap on simplex pivots across both phases. <= 0 means automatic
   /// (scales with model size).
@@ -26,6 +65,26 @@ struct LpOptions {
   Deadline deadline = Deadline::Infinite();
   /// Feasibility / optimality tolerance.
   double tolerance = 1e-7;
+  /// Implementation selector; see LpAlgorithm.
+  LpAlgorithm algorithm = LpAlgorithm::kRevised;
+  /// Break-even dispatch under kRevised: models with at most this many
+  /// rows (and at most twice as many columns) run on the dense tableau
+  /// kernel, which beats the factorization's constant overhead at that
+  /// size. 0 forces the revised kernel on every model (differential and
+  /// warm-start tests rely on this). Warm bases are only produced and
+  /// consumed by the revised kernel, so the warm-start chain naturally
+  /// restricts itself to models above the cutoff.
+  int dense_size_cutoff = 64;
+  /// Revised simplex only: number of eta updates accumulated on top of a
+  /// fresh factorization before the next periodic refactorization.
+  int refactor_interval = 64;
+  /// Optional warm start (revised simplex only; the dense path ignores
+  /// it). Must describe a basis for a model with the same rows. The
+  /// pointee is not retained past the SolveLp call.
+  const LpBasis* warm_basis = nullptr;
+  /// When non-null, receives the final basis of an optimal solve (left
+  /// untouched otherwise). Revised simplex only.
+  LpBasis* result_basis = nullptr;
 };
 
 struct LpResult {
@@ -41,16 +100,31 @@ struct LpResult {
   std::vector<double> reduced_costs;
   /// Total simplex pivots; always phase1_iterations + phase2_iterations.
   int iterations = 0;
-  /// Pivots spent driving artificials out (feasibility restoration).
+  /// Pivots spent driving artificials out (feasibility restoration); for a
+  /// warm-started solve this counts the dual-simplex repair pivots.
   int phase1_iterations = 0;
   /// Pivots spent optimizing the real objective.
   int phase2_iterations = 0;
+  /// Revised simplex: basis refactorizations performed (>= 1 per solve).
+  int refactorizations = 0;
+  /// Revised simplex: longest eta file reached between refactorizations.
+  int max_eta_length = 0;
+  /// True when a supplied warm basis was actually used (valid and accepted
+  /// by the warm-start protocol) rather than falling back to a cold start.
+  bool warm_started = false;
 };
 
-/// Solves the LP relaxation of `model` with a bounded-variable two-phase
-/// primal simplex (revised form with an explicit dense basis inverse).
-/// Integer markers on variables are ignored here.
+/// Solves the LP relaxation of `model`. Dispatches on options.algorithm:
+/// the sparse revised simplex by default, the dense tableau on request or
+/// as an automatic fallback if the revised path errors. Integer markers on
+/// variables are ignored here.
 LpResult SolveLp(const LpModel& model, const LpOptions& options = {});
+
+/// The original dense-tableau two-phase simplex (explicit dense basis
+/// inverse). Ignores warm_basis/result_basis. The revised-simplex entry
+/// point lives in lp/revised_simplex.h.
+LpResult SolveLpDenseTableau(const LpModel& model,
+                             const LpOptions& options = {});
 
 }  // namespace rasa
 

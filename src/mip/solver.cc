@@ -49,6 +49,10 @@ struct Node {
   // LP bound of the parent (model sense); used for best-bound ordering.
   double bound;
   int depth = 0;
+  // Optimal basis of the parent LP, shared by both children. A child only
+  // tightens bounds, so this basis stays dual feasible and the revised
+  // simplex can repair it with a few dual pivots instead of a full solve.
+  std::shared_ptr<const LpBasis> parent_basis;
 };
 
 class BranchAndBound {
@@ -70,8 +74,10 @@ class BranchAndBound {
                     bool undo) const;
   void OfferIncumbent(const std::vector<double>& x, double objective);
   // Fix-and-dive heuristic starting from an LP-feasible fractional point.
+  // `start_basis` (may be null) seeds the warm-start chain along the dive.
   void Dive(LpModel& scratch, const Node& node,
-            const std::vector<double>& relaxation);
+            const std::vector<double>& relaxation, const LpBasis* start_basis);
+  void RecordLpStats(const LpResult& lp);
 
   const LpModel& model_;
   const MipOptions& options_;
@@ -82,6 +88,10 @@ class BranchAndBound {
   std::vector<double> incumbent_;
   int nodes_ = 0;
   int lp_iterations_ = 0;
+  int warm_started_nodes_ = 0;
+  int max_node_pivots_ = 0;
+  int refactorizations_ = 0;
+  int max_eta_length_ = 0;
 };
 
 bool BranchAndBound::IsIntegral(const std::vector<double>& x,
@@ -141,12 +151,28 @@ void BranchAndBound::OfferIncumbent(const std::vector<double>& x,
   }
 }
 
+void BranchAndBound::RecordLpStats(const LpResult& lp) {
+  lp_iterations_ += lp.iterations;
+  refactorizations_ += lp.refactorizations;
+  max_eta_length_ = std::max(max_eta_length_, lp.max_eta_length);
+}
+
 void BranchAndBound::Dive(LpModel& scratch, const Node& node,
-                          const std::vector<double>& relaxation) {
+                          const std::vector<double>& relaxation,
+                          const LpBasis* start_basis) {
   // Iteratively fix the least-fractional integer variable to its nearest
   // integer and re-solve; stop on integrality, infeasibility, or depth cap.
   std::vector<BoundChange> fixes;
   std::vector<double> x = relaxation;
+  // Each fix only tightens bounds, so the previous basis warm-starts the
+  // next solve all the way down the dive.
+  LpBasis chain_basis;
+  bool have_basis = false;
+  if (options_.warm_start_nodes && start_basis != nullptr &&
+      !start_basis->empty()) {
+    chain_basis = *start_basis;
+    have_basis = true;
+  }
   const int max_depth = 2 * model_.num_integer_variables() + 8;
   for (int step = 0; step < max_depth; ++step) {
     if (options_.deadline.Expired()) break;
@@ -173,9 +199,16 @@ void BranchAndBound::Dive(LpModel& scratch, const Node& node,
     ApplyChanges(scratch, {fixes.back()}, /*undo=*/false);
     LpOptions lp_opts = options_.lp_options;
     lp_opts.deadline = options_.deadline;
+    LpBasis next_basis;
+    if (have_basis) lp_opts.warm_basis = &chain_basis;
+    lp_opts.result_basis = &next_basis;
     LpResult lp = SolveLp(scratch, lp_opts);
-    lp_iterations_ += lp.iterations;
+    RecordLpStats(lp);
     if (lp.status != LpStatus::kOptimal) break;
+    if (!next_basis.empty()) {
+      chain_basis = std::move(next_basis);
+      have_basis = true;
+    }
     x = lp.primal;
   }
   // Restore bounds touched by the dive back to this node's state.
@@ -245,8 +278,18 @@ MipResult BranchAndBound::Solve() {
     ApplyChanges(scratch, node->changes, /*undo=*/false);
     LpOptions lp_opts = options_.lp_options;
     lp_opts.deadline = options_.deadline;
+    LpBasis node_basis;
+    if (options_.warm_start_nodes && node->parent_basis != nullptr) {
+      lp_opts.warm_basis = node->parent_basis.get();
+    }
+    lp_opts.result_basis = &node_basis;
     LpResult lp = SolveLp(scratch, lp_opts);
-    lp_iterations_ += lp.iterations;
+    RecordLpStats(lp);
+    if (lp.warm_started) ++warm_started_nodes_;
+    max_node_pivots_ = std::max(max_node_pivots_, lp.iterations);
+    if (options_.node_trace) {
+      options_.node_trace(nodes_, lp.iterations, lp.warm_started);
+    }
 
     if (lp.status == LpStatus::kInfeasible) {
       ApplyChanges(scratch, node->changes, /*undo=*/true);
@@ -285,23 +328,30 @@ MipResult BranchAndBound::Solve() {
 
     if (options_.dive_frequency > 0 &&
         (nodes_ == 1 || nodes_ % options_.dive_frequency == 0)) {
-      Dive(scratch, *node, lp.primal);  // restores node bounds itself
+      // Restores node bounds itself.
+      Dive(scratch, *node, lp.primal, node_basis.empty() ? nullptr : &node_basis);
     }
 
     // Clamp defensively: LP noise must never create an empty bound box.
     const double value =
         std::clamp(lp.primal[branch_var], scratch.lower_bound(branch_var),
                    scratch.upper_bound(branch_var));
+    std::shared_ptr<const LpBasis> child_basis;
+    if (options_.warm_start_nodes && !node_basis.empty()) {
+      child_basis = std::make_shared<const LpBasis>(std::move(node_basis));
+    }
     auto down = std::make_shared<Node>();
     down->changes = node->changes;
     down->changes.push_back({branch_var, -kInf, std::floor(value)});
     down->bound = node_bound;
     down->depth = node->depth + 1;
+    down->parent_basis = child_basis;
     auto up = std::make_shared<Node>();
     up->changes = node->changes;
     up->changes.push_back({branch_var, std::ceil(value), kInf});
     up->bound = node_bound;
     up->depth = node->depth + 1;
+    up->parent_basis = child_basis;
     open.push(down);
     open.push(up);
 
@@ -310,6 +360,10 @@ MipResult BranchAndBound::Solve() {
 
   result.nodes_explored = nodes_;
   result.lp_iterations = lp_iterations_;
+  result.warm_started_nodes = warm_started_nodes_;
+  result.max_node_pivots = max_node_pivots_;
+  result.refactorizations = refactorizations_;
+  result.max_eta_length = max_eta_length_;
 
   if (root_unbounded && !has_incumbent_) {
     result.status = MipStatus::kUnbounded;

@@ -38,6 +38,14 @@ struct MipOptions {
   /// Every `dive_frequency`-th node additionally runs a fix-and-dive
   /// heuristic to manufacture incumbents early. <= 0 disables diving.
   int dive_frequency = 16;
+  /// Warm-start child node LPs from the parent's optimal basis (dual
+  /// simplex repair in the revised solver). Purely a speed knob: any
+  /// warm solve the solver cannot accept falls back to a cold solve.
+  bool warm_start_nodes = true;
+  /// Observation hook invoked after every node LP solve with the node
+  /// ordinal (1-based, in exploration order), its simplex pivot count and
+  /// whether the solve reused the parent basis.
+  std::function<void(int node, int pivots, bool warm_started)> node_trace;
 };
 
 struct MipResult {
@@ -59,6 +67,16 @@ struct MipResult {
   std::vector<double> solution;
   int nodes_explored = 0;
   int lp_iterations = 0;
+  /// Node LP solves that accepted a parent-basis warm start (the hit rate
+  /// denominator is nodes_explored; the root is always cold).
+  int warm_started_nodes = 0;
+  /// Largest single node-LP pivot count (the root usually dominates once
+  /// warm starts shrink the interior nodes to a handful of pivots).
+  int max_node_pivots = 0;
+  /// Basis refactorizations summed over all LP solves (revised simplex).
+  int refactorizations = 0;
+  /// Longest eta file reached in any LP solve (revised simplex).
+  int max_eta_length = 0;
 
   bool has_solution() const {
     return status == MipStatus::kOptimal || status == MipStatus::kFeasible;
