@@ -84,7 +84,12 @@ int Usage() {
       "  --state-dir=DIR     durable checkpoints + migration write-ahead "
       "journal in DIR\n"
       "  --resume            recover + resume an interrupted run from "
-      "--state-dir\n");
+      "--state-dir\n"
+      "  --incremental       delta-aware re-optimization: re-solve only the "
+      "partitions\n"
+      "                      the snapshot differ marks dirty (implies "
+      "noise-free\n"
+      "                      measurement; see DESIGN.md)\n");
   return 2;
 }
 
@@ -311,7 +316,7 @@ int Optimize(int argc, char** argv, int threads,
 
 int Workflow(int argc, char** argv, int threads,
              const std::string& metrics_out, bool trace,
-             const std::string& state_dir, bool resume) {
+             const std::string& state_dir, bool resume, bool incremental) {
   if (argc < 3) return Usage();
   StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
   if (!snapshot.ok()) {
@@ -330,6 +335,11 @@ int Workflow(int argc, char** argv, int threads,
   options.faults.seed = options.seed + 1;
   options.state_dir = state_dir;
   options.resume = resume;
+  options.incremental = incremental;
+  // Per-cycle measurement noise re-randomizes every affinity weight, which
+  // the snapshot differ reports as full drift; incremental mode only pays
+  // off with exact measurement (see WorkflowOptions::incremental).
+  if (incremental) options.measurement_noise = 0.0;
 
   // The simulated cluster cannot be queried after a crash, so a resumed run
   // reconstructs the placement a restarted controller would observe from
@@ -384,8 +394,16 @@ int Workflow(int argc, char** argv, int threads,
                                 : 0;
   for (size_t c = 0; c < report->cycles.size(); ++c) {
     const CycleReport& cr = report->cycles[c];
+    std::string inc_tag;
+    if (cr.incremental) {
+      inc_tag = " [reused " + std::to_string(cr.reused_subproblems) + "/" +
+                std::to_string(cr.reused_subproblems + cr.dirty_subproblems) +
+                "]";
+    } else if (!cr.incremental_reason.empty()) {
+      inc_tag = " [" + cr.incremental_reason + "]";
+    }
     std::printf(
-        "cycle %2zu: affinity %.4f -> %.4f%s%s, %d moved, %d batches, "
+        "cycle %2zu: affinity %.4f -> %.4f%s%s%s, %d moved, %d batches, "
         "%d cmd failures, %d retries, %d replans (%.2fs)\n",
         first_cycle + c, cr.affinity_before, cr.affinity_after,
         cr.executed ? (cr.reached_target ? " [executed]" : " [partial]")
@@ -393,8 +411,8 @@ int Workflow(int argc, char** argv, int threads,
         cr.solver_failed
             ? " [solver failed]"
             : (cr.recovered ? " [recovered]" : ""),
-        cr.moved_containers, cr.migration_batches, cr.commands_failed,
-        cr.command_retries, cr.replans, cr.seconds);
+        inc_tag.c_str(), cr.moved_containers, cr.migration_batches,
+        cr.commands_failed, cr.command_retries, cr.replans, cr.seconds);
   }
   std::printf(
       "totals: %d executions (%d partial), %d dry-runs, %d rollbacks, "
@@ -483,6 +501,7 @@ int main(int argc, char** argv) {
   const bool trace = ExtractBoolFlag(argc, argv, "--trace");
   const std::string state_dir = ExtractStringFlag(argc, argv, "--state-dir");
   const bool resume = ExtractBoolFlag(argc, argv, "--resume");
+  const bool incremental = ExtractBoolFlag(argc, argv, "--incremental");
   if (trace) rasa::Tracer::Default().Enable(true);
   if (argc < 2) return Usage();
   if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
@@ -492,7 +511,7 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "workflow") == 0) {
     return Workflow(argc, argv, threads, metrics_out, trace, state_dir,
-                    resume);
+                    resume, incremental);
   }
   if (std::strcmp(argv[1], "explain") == 0) {
     return Explain(argc, argv, threads, metrics_out, trace);

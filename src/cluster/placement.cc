@@ -67,7 +67,7 @@ bool Placement::CanPlace(int machine, int service, int count) const {
   const std::vector<double>& req = cluster_->service(service).request;
   for (int r = 0; r < cluster_->num_resources(); ++r) {
     if (used_[machine][r] + req[r] * count >
-        cluster_->machine(machine).capacity[r] + 1e-9) {
+        cluster_->machine(machine).capacity[r] + kCapacityTolerance) {
       return false;
     }
   }
@@ -88,7 +88,7 @@ int Placement::RuleCount(int machine, int rule) const {
 Status Placement::CheckFeasible(bool check_sla) const {
   for (int m = 0; m < cluster_->num_machines(); ++m) {
     for (int r = 0; r < cluster_->num_resources(); ++r) {
-      if (used_[m][r] > cluster_->machine(m).capacity[r] + 1e-6) {
+      if (used_[m][r] > cluster_->machine(m).capacity[r] + kCapacityTolerance) {
         return FailedPreconditionError(StrFormat(
             "machine %d over capacity on resource %d: %g > %g", m, r,
             used_[m][r], cluster_->machine(m).capacity[r]));

@@ -9,6 +9,14 @@
 
 namespace rasa {
 
+/// Absolute slack allowed on machine resource capacities, shared by the
+/// admission check (CanPlace) and the audit (CheckFeasible). A single
+/// constant keeps the two consistent: anything CanPlace admits must pass
+/// the audit, and the audit must reject anything CanPlace would refuse —
+/// a looser audit tolerance would mask real over-commitment, a tighter one
+/// would flag placements the admission path built legitimately.
+inline constexpr double kCapacityTolerance = 1e-9;
+
 /// The decision matrix x_{s,m}: how many containers of each service sit on
 /// each machine. Kept sparse (most services touch few machines) with
 /// deterministic iteration order, plus incremental resource accounting.

@@ -38,14 +38,11 @@ const char* PoolAlgorithmToString(PoolAlgorithm algorithm) {
   return "UNKNOWN";
 }
 
-StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
-                                              const Cluster& cluster,
-                                              const Subproblem& subproblem,
-                                              const Placement& base,
-                                              const Placement& original,
-                                              const Deadline& deadline,
-                                              uint64_t seed,
-                                              PoolAttemptStats* stats) {
+StatusOr<SubproblemSolution> RunPoolAlgorithm(
+    PoolAlgorithm algorithm, const Cluster& cluster,
+    const Subproblem& subproblem, const Placement& base,
+    const Placement& original, const Deadline& deadline, uint64_t seed,
+    PoolAttemptStats* stats, const Placement* mip_incumbent) {
   PoolMetrics& metrics = MetricsFor(algorithm);
   metrics.picks.Increment();
   Stopwatch timer;
@@ -84,6 +81,7 @@ StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
       MipAlgorithmOptions options;
       options.deadline = deadline;
       options.seed = seed;
+      options.incumbent_hint = mip_incumbent;
       result = SolveSubproblemMip(cluster, subproblem, base, options,
                                   stats != nullptr ? &stats->mip : nullptr);
       if (stats != nullptr) stats->has_mip = true;

@@ -32,14 +32,16 @@ struct PoolAttemptStats {
 /// residents (defines residual capacities); `original` is the pre-RASA
 /// placement (CG seeds patterns from it). Neither is modified. `stats`,
 /// when non-null, receives the attempt's solver introspection.
-StatusOr<SubproblemSolution> RunPoolAlgorithm(PoolAlgorithm algorithm,
-                                              const Cluster& cluster,
-                                              const Subproblem& subproblem,
-                                              const Placement& base,
-                                              const Placement& original,
-                                              const Deadline& deadline,
-                                              uint64_t seed = 29,
-                                              PoolAttemptStats* stats = nullptr);
+/// `mip_incumbent`, when non-null, offers an extra feasible placement (the
+/// incremental path's prior incumbent) as the MIP warm start — see
+/// MipAlgorithmOptions::incumbent_hint; the CG branch ignores it (CG warm
+/// starts from `original`).
+StatusOr<SubproblemSolution> RunPoolAlgorithm(
+    PoolAlgorithm algorithm, const Cluster& cluster,
+    const Subproblem& subproblem, const Placement& base,
+    const Placement& original, const Deadline& deadline, uint64_t seed = 29,
+    PoolAttemptStats* stats = nullptr,
+    const Placement* mip_incumbent = nullptr);
 
 }  // namespace rasa
 

@@ -80,6 +80,7 @@ void AppendRecordJson(JsonWriter& w, const LedgerRecord& r,
   w.Key("ladder_rung").Value(r.ladder_rung);
   w.Key("used_secondary").Value(r.used_secondary);
   w.Key("fell_to_greedy").Value(r.fell_to_greedy);
+  w.Key("reused").Value(r.reused);
   if (include_timings) {
     w.Key("budget_seconds").Value(r.budget_seconds);
     w.Key("seconds").Value(r.seconds);

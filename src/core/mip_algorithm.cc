@@ -384,39 +384,60 @@ StatusOr<SubproblemSolution> SolveSubproblemMip(
   // Warm start from the affinity greedy.
   Placement scratch = base;
   SubproblemSolution greedy = GreedyAffinityPlace(cluster, subproblem, scratch);
-  std::vector<double> warm(mip.model.num_variables(), 0.0);
-  {
-    std::vector<int> local_service(cluster.num_services(), -1);
-    for (int i = 0; i < S; ++i) local_service[subproblem.services[i]] = i;
-    std::vector<int> local_machine(cluster.num_machines(), -1);
-    for (int j = 0; j < M; ++j) local_machine[subproblem.machines[j]] = j;
-    for (const SubproblemSolution::Assignment& a : greedy.assignments) {
-      warm[mip.x_index[local_service[a.service]][local_machine[a.machine]]] =
-          a.count;
-    }
-    // Lift the a variables to their implied optima so the warm start's
-    // objective matches its true gained affinity.
-    // (Recomputed from x below; a columns were added before constraints in
-    // edge order with index = S*M offset — recover via names is fragile, so
-    // recompute generically: set each a to min of its two caps.)
-  }
-  // Recover implied a values: iterate edges in the same order used by the
-  // builder; a-columns were created right after the S*M x-block, one per
-  // (edge, machine).
-  {
+
+  std::vector<int> local_service(cluster.num_services(), -1);
+  for (int i = 0; i < S; ++i) local_service[subproblem.services[i]] = i;
+  std::vector<int> local_machine(cluster.num_machines(), -1);
+  for (int j = 0; j < M; ++j) local_machine[subproblem.machines[j]] = j;
+
+  // Lift the a variables of a candidate x-block to their implied optima so
+  // the warm start's objective matches its true gained affinity. Iterates
+  // edges in the same order used by the builder; a-columns were created
+  // right after the S*M x-block, one per (edge, machine).
+  auto lift_a = [&](std::vector<double>& candidate) {
     int next_var = S * M;
-    std::vector<int> local_of(cluster.num_services(), -1);
-    for (int i = 0; i < S; ++i) local_of[subproblem.services[i]] = i;
     for (const AffinityEdge& edge : subproblem.edges) {
       const double du = cluster.service(edge.u).demand;
       const double dv = cluster.service(edge.v).demand;
       if (du <= 0 || dv <= 0) continue;
       for (int j = 0; j < M; ++j) {
-        const double xu = warm[mip.x_index[local_of[edge.u]][j]];
-        const double xv = warm[mip.x_index[local_of[edge.v]][j]];
-        warm[next_var] = edge.weight * std::min(xu / du, xv / dv);
+        const double xu = candidate[mip.x_index[local_service[edge.u]][j]];
+        const double xv = candidate[mip.x_index[local_service[edge.v]][j]];
+        candidate[next_var] = edge.weight * std::min(xu / du, xv / dv);
         ++next_var;
       }
+    }
+  };
+
+  std::vector<double> warm(mip.model.num_variables(), 0.0);
+  for (const SubproblemSolution::Assignment& a : greedy.assignments) {
+    warm[mip.x_index[local_service[a.service]][local_machine[a.machine]]] =
+        a.count;
+  }
+  lift_a(warm);
+
+  // Incremental warm start: when the prior incumbent realizes more affinity
+  // than the greedy, offer it instead. Branch-and-bound audits feasibility
+  // before accepting any initial solution, so a stale hint degrades to no
+  // warm start, never to an invalid incumbent.
+  if (options.incumbent_hint != nullptr) {
+    std::vector<std::vector<int>> counts(S, std::vector<int>(M, 0));
+    for (int i = 0; i < S; ++i) {
+      for (int j = 0; j < M; ++j) {
+        counts[i][j] = options.incumbent_hint->CountOn(
+            subproblem.machines[j], subproblem.services[i]);
+      }
+    }
+    if (SubproblemGainedAffinity(cluster, subproblem, counts) >
+        greedy.gained_affinity) {
+      std::vector<double> hint(mip.model.num_variables(), 0.0);
+      for (int i = 0; i < S; ++i) {
+        for (int j = 0; j < M; ++j) {
+          hint[mip.x_index[i][j]] = counts[i][j];
+        }
+      }
+      lift_a(hint);
+      warm = std::move(hint);
     }
   }
 

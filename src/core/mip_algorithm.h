@@ -51,6 +51,11 @@ struct MipAlgorithmOptions {
   int max_model_rows = 2000;
   double relative_gap = 1e-4;
   uint64_t seed = 11;
+  /// Optional feasible placement (the incremental path's prior incumbent)
+  /// offered as the branch-and-bound warm start when it beats the greedy
+  /// one. Only its counts on the subproblem's own (service, machine) pairs
+  /// are read; not owned, must outlive the solve.
+  const Placement* incumbent_hint = nullptr;
 };
 
 /// Builds the MIP of expressions (2)-(9) restricted to a subproblem:

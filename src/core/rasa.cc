@@ -180,6 +180,101 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
 StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
                                              const Placement& current,
                                              ThreadPool* pool) const {
+  return OptimizeWithPlan(cluster, current, pool, nullptr, nullptr);
+}
+
+StatusOr<RasaResult> RasaOptimizer::OptimizeIncremental(
+    const Cluster& cluster, const Placement& current, ThreadPool* pool,
+    IncrementalState* state) const {
+  Stopwatch diff_timer;
+  SnapshotDelta delta = DiffSnapshot(cluster, current, *state, options_.delta);
+
+  // Capture into a scratch state and swap on success, so `state` (which the
+  // plan below aliases as its cache) is never mutated mid-run and stays
+  // untouched on error.
+  IncrementalState fresh;
+  if (delta.full_resolve) {
+    StatusOr<RasaResult> result =
+        OptimizeWithPlan(cluster, current, pool, nullptr, &fresh);
+    if (result.ok()) {
+      result->incremental_reason = delta.reason;
+      result->dirty_subproblems = static_cast<int>(result->subproblems.size());
+      *state = std::move(fresh);
+    }
+    return result;
+  }
+
+  const int n = static_cast<int>(state->subproblems.size());
+  DeltaPlan plan;
+  plan.cache = state;
+  plan.reuse.assign(n, 0);
+  for (int i = 0; i < n; ++i) plan.reuse[i] = delta.dirty[i] ? 0 : 1;
+  plan.residual_increased = std::move(delta.residual_increased);
+  plan.weight_ratio = std::move(delta.weight_ratio);
+
+  // Rebuild the PartitionResult the cached cycle produced, re-priced under
+  // this snapshot's weights (DiffSnapshot already rebuilt the edges).
+  PartitionResult& partition = plan.partition;
+  partition.subproblems = std::move(delta.rebuilt);
+  std::vector<char> crucial(cluster.num_services(), 0);
+  int num_crucial = 0;
+  double crucial_internal = 0.0;
+  for (const Subproblem& sp : partition.subproblems) {
+    crucial_internal += sp.internal_affinity;
+    for (int s : sp.services) {
+      crucial[s] = 1;
+      ++num_crucial;
+    }
+  }
+  for (int s = 0; s < cluster.num_services(); ++s) {
+    if (!crucial[s]) partition.trivial_services.push_back(s);
+  }
+  partition.base_placement = Placement(cluster);
+  for (int m = 0; m < cluster.num_machines(); ++m) {
+    for (const auto& [s, count] : current.ServicesOn(m)) {
+      if (!crucial[s]) partition.base_placement.Add(m, s, count);
+    }
+  }
+  PartitionStats& stats = partition.stats;
+  stats.num_services = cluster.num_services();
+  stats.num_crucial_services = num_crucial;
+  stats.num_trivial_services = cluster.num_services() - num_crucial;
+  stats.num_subproblems = n;
+  stats.master_ratio = state->master_ratio;
+  stats.master_affinity = state->master_affinity;
+  const double total_weight = cluster.affinity().TotalWeight();
+  stats.crucial_internal_affinity =
+      total_weight > 0.0 ? crucial_internal / total_weight : 0.0;
+
+  // Prior incumbent: base + cached assignments, CanPlace-guarded. Warm-start
+  // source for CG pattern seeding and the MIP initial solution on the dirty
+  // re-solves.
+  Placement hint = partition.base_placement;
+  for (const SubproblemCache& cache : state->subproblems) {
+    for (const SubproblemSolution::Assignment& a : cache.assignments) {
+      if (hint.CanPlace(a.machine, a.service, a.count)) {
+        hint.Add(a.machine, a.service, a.count);
+      } else {
+        int fit = 0;
+        while (fit < a.count && hint.CanPlace(a.machine, a.service)) {
+          hint.Add(a.machine, a.service);
+          ++fit;
+        }
+      }
+    }
+  }
+  plan.hint = &hint;
+  stats.elapsed_seconds = diff_timer.ElapsedSeconds();
+
+  StatusOr<RasaResult> result =
+      OptimizeWithPlan(cluster, current, pool, &plan, &fresh);
+  if (result.ok()) *state = std::move(fresh);
+  return result;
+}
+
+StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
+    const Cluster& cluster, const Placement& current, ThreadPool* pool,
+    const DeltaPlan* plan, IncrementalState* out_state) const {
   Stopwatch timer;
   const Deadline deadline = Deadline::AfterSeconds(options_.timeout_seconds);
   TraceSpan optimize_span("optimize");
@@ -187,11 +282,16 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
   RasaResult result;
   result.original_gained_affinity = GainedAffinity(cluster, current);
 
-  // Phase 1: service partitioning + machine assignment.
-  PartitionResult partition = [&] {
+  // Phase 1: service partitioning + machine assignment — or, on the
+  // incremental path, the previous cycle's partitioning rebuilt by the
+  // caller (re-priced under this snapshot's weights).
+  PartitionResult repartition;
+  if (plan == nullptr) {
     TraceSpan span("partition");
-    return PartitionServices(cluster, current, options_.partitioning);
-  }();
+    repartition = PartitionServices(cluster, current, options_.partitioning);
+  }
+  const PartitionResult& partition =
+      plan == nullptr ? repartition : plan->partition;
   result.partition_stats = partition.stats;
   const int num_subproblems = static_cast<int>(partition.subproblems.size());
 
@@ -206,9 +306,19 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     return aa != ab ? aa > ab : a < b;
   });
 
+  // Budget and ledger count only the subproblems that actually solve this
+  // run: reused ones consume no share of the deadline.
   double total_affinity = 0.0;
-  for (const Subproblem& sp : partition.subproblems) {
-    total_affinity += sp.internal_affinity;
+  int active_subproblems = 0;
+  for (int i = 0; i < num_subproblems; ++i) {
+    if (plan != nullptr && plan->reuse[i]) continue;
+    total_affinity += partition.subproblems[i].internal_affinity;
+    ++active_subproblems;
+  }
+  if (plan != nullptr) {
+    result.incremental = true;
+    result.dirty_subproblems = active_subproblems;
+    result.reused_subproblems = num_subproblems - active_subproblems;
   }
 
   // Worker pool resolution: an external pool wins; otherwise spin one up
@@ -224,11 +334,40 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
   result.num_threads_used = pool != nullptr ? pool->num_threads() : 1;
 
   // Phase 2a: batch algorithm selection (parallel GCN inference; pure, so
-  // scheduling cannot change the labels).
+  // scheduling cannot change the labels). On the incremental path only the
+  // dirty subproblems run inference; clean ones keep the label they were
+  // solved with (echoed into their reused ledger records).
   const std::vector<PoolAlgorithm> selected = [&] {
     TraceSpan span("select");
-    return selector_.SelectBatch(cluster, partition.subproblems, pool);
+    if (plan == nullptr) {
+      return selector_.SelectBatch(cluster, partition.subproblems, pool);
+    }
+    std::vector<PoolAlgorithm> labels(num_subproblems, PoolAlgorithm::kCg);
+    std::vector<Subproblem> dirty;
+    std::vector<int> dirty_idx;
+    for (int i = 0; i < num_subproblems; ++i) {
+      if (plan->reuse[i]) {
+        labels[i] =
+            static_cast<PoolAlgorithm>(plan->cache->subproblems[i].algorithm);
+      } else {
+        dirty.push_back(partition.subproblems[i]);
+        dirty_idx.push_back(i);
+      }
+    }
+    const std::vector<PoolAlgorithm> dirty_labels =
+        selector_.SelectBatch(cluster, dirty, pool);
+    for (size_t j = 0; j < dirty_idx.size(); ++j) {
+      labels[dirty_idx[j]] = dirty_labels[j];
+    }
+    return labels;
   }();
+
+  // Warm-start source handed to the solvers as the "original" placement:
+  // the prior incumbent on the incremental path (CG seeds its patterns from
+  // it, MIP takes it as the initial feasible solution), the live placement
+  // otherwise.
+  const Placement& warm_source = plan != nullptr ? *plan->hint : current;
+  const Placement* mip_hint = plan != nullptr ? plan->hint : nullptr;
 
   // Phase 2b: speculative per-subproblem solves, fanned out across the
   // pool. Shared state is confined to the deadline ledger and the advisory
@@ -270,6 +409,10 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
 
   auto solve_one = [&](int position) {
     const int idx = order[position];
+    // Reused subproblems skip the solvers entirely — no RNG draws, no
+    // budget reservation (per-subproblem streams are independent, so the
+    // dirty solves still draw exactly the seeds a full run would).
+    if (plan != nullptr && plan->reuse[idx]) return;
     const Subproblem& sp = partition.subproblems[idx];
     SolveRecord& rec = records[position];
     TraceSpan sp_span(StrFormat("subproblem_%d", idx), solve_parent);
@@ -295,8 +438,8 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     } else {
       rec.primary_attempt.result =
           RunPoolAlgorithm(rec.primary, cluster, sp, partition.base_placement,
-                           current, sp_deadline, primary_seed,
-                           &rec.primary_stats);
+                           warm_source, sp_deadline, primary_seed,
+                           &rec.primary_stats, mip_hint);
       if (!rec.primary_attempt.result->ok()) {
         mark_failed(rec.primary, position);
       }
@@ -314,9 +457,9 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         rec.secondary_attempt.pruned = true;
       } else {
         rec.secondary_attempt.result = RunPoolAlgorithm(
-            rec.secondary, cluster, sp, partition.base_placement, current,
+            rec.secondary, cluster, sp, partition.base_placement, warm_source,
             deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed, &rec.secondary_stats);
+            rec.secondary_seed, &rec.secondary_stats, mip_hint);
         if (!rec.secondary_attempt.result->ok()) {
           mark_failed(rec.secondary, position);
         }
@@ -350,9 +493,123 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
                options_.circuit_breaker_failures;
   };
 
+  if (out_state != nullptr) {
+    out_state->subproblems.assign(static_cast<size_t>(num_subproblems),
+                                  SubproblemCache{});
+  }
+
   for (int position = 0; position < num_subproblems; ++position) {
     const int idx = order[position];
     const Subproblem& sp = partition.subproblems[idx];
+    if (plan != nullptr && plan->reuse[idx]) {
+      const SubproblemCache& cache = plan->cache->subproblems[idx];
+      SubproblemReport report;
+      report.num_services = static_cast<int>(sp.services.size());
+      report.num_machines = static_cast<int>(sp.machines.size());
+      report.internal_affinity = sp.internal_affinity;
+      report.algorithm = static_cast<PoolAlgorithm>(cache.algorithm);
+      report.used_secondary = cache.used_secondary;
+      report.failed = cache.fell_to_greedy;
+      report.unplaced_containers = cache.unplaced;
+
+      // Re-apply the cached assignments; the CanPlace guard (plus the
+      // partial-fit loop) absorbs any residual shrinkage the differ
+      // tolerated, handing whatever no longer fits to the global fallback.
+      std::vector<int> local_service(cluster.num_services(), -1);
+      for (size_t i = 0; i < sp.services.size(); ++i) {
+        local_service[sp.services[i]] = static_cast<int>(i);
+      }
+      std::vector<int> local_machine(cluster.num_machines(), -1);
+      for (size_t j = 0; j < sp.machines.size(); ++j) {
+        local_machine[sp.machines[j]] = static_cast<int>(j);
+      }
+      std::vector<std::vector<int>> counts(
+          sp.services.size(), std::vector<int>(sp.machines.size(), 0));
+      std::vector<int> placed(cluster.num_services(), 0);
+      std::vector<SubproblemSolution::Assignment> applied;
+      for (const SubproblemSolution::Assignment& a : cache.assignments) {
+        int fit = 0;
+        if (working.CanPlace(a.machine, a.service, a.count)) {
+          working.Add(a.machine, a.service, a.count);
+          fit = a.count;
+        } else {
+          while (fit < a.count && working.CanPlace(a.machine, a.service)) {
+            working.Add(a.machine, a.service);
+            ++fit;
+          }
+        }
+        if (fit > 0) {
+          placed[a.service] += fit;
+          counts[local_service[a.service]][local_machine[a.machine]] += fit;
+          applied.push_back({a.service, a.machine, fit});
+        }
+      }
+      int sp_unplaced = 0;
+      for (int s : sp.services) {
+        unplaced[s] += cluster.service(s).demand - placed[s];
+        sp_unplaced += cluster.service(s).demand - placed[s];
+      }
+      // Realized value re-priced under this snapshot's weights.
+      report.gained_affinity = SubproblemGainedAffinity(cluster, sp, counts);
+      result.subproblems.push_back(report);
+
+      LedgerRecord lrec;
+      lrec.subproblem = idx;
+      lrec.position = position;
+      lrec.num_services = report.num_services;
+      lrec.num_machines = report.num_machines;
+      lrec.internal_affinity = sp.internal_affinity;
+      lrec.selector_policy = selector_.policy();
+      lrec.selected = report.algorithm;
+      lrec.reused = true;
+      lrec.used_secondary = cache.used_secondary;
+      lrec.fell_to_greedy = cache.fell_to_greedy;
+      lrec.ladder_rung = cache.ladder_rung;
+      lrec.realized_affinity = report.gained_affinity;
+      lrec.unplaced_containers = sp_unplaced;
+
+      // Certificate term from the cached bound, reused only while it is
+      // still sound for this snapshot: the original tightening held, every
+      // cached container fits again now, no machine regained capacity since
+      // the solve, and the weight ratio inflates away any tolerated edge
+      // growth (see DESIGN.md "Incremental re-optimization").
+      CertificateTerm term;
+      term.subproblem = idx;
+      term.internal_affinity = sp.internal_affinity;
+      term.realized = report.gained_affinity;
+      term.bound = sp.internal_affinity;
+      if (cache.tightened && sp_unplaced == 0 &&
+          !plan->residual_increased[idx]) {
+        const double candidate = std::max(
+            plan->weight_ratio[idx] * cache.bound, report.gained_affinity);
+        if (candidate < sp.internal_affinity) {
+          term.bound = candidate;
+          term.tightened = true;
+          term.source = cache.bound_source;
+        }
+      }
+      lrec.certificate_bound = term.bound;
+      lrec.bound_tightened = term.tightened;
+      result.report.certificate.terms.push_back(term);
+      result.report.records.push_back(std::move(lrec));
+
+      if (out_state != nullptr) {
+        SubproblemCache& cap = out_state->subproblems[idx];
+        cap.subproblem = sp;
+        cap.assignments = std::move(applied);
+        cap.unplaced = sp_unplaced;
+        cap.realized = report.gained_affinity;
+        cap.bound = term.bound;
+        cap.tightened = term.tightened;
+        cap.bound_source = term.source;
+        cap.algorithm = cache.algorithm;
+        cap.used_secondary = cache.used_secondary;
+        cap.fell_to_greedy = cache.fell_to_greedy;
+        cap.ladder_rung = cache.ladder_rung;
+      }
+      continue;
+    }
+
     SolveRecord& rec = records[position];
     SubproblemReport report;
     report.num_services = static_cast<int>(sp.services.size());
@@ -435,9 +692,9 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         // canonical order). Solve the rung now, with the pre-assigned seed
         // and the same budget slice a sequential run would use.
         repair = RunPoolAlgorithm(
-            rec.secondary, cluster, sp, partition.base_placement, current,
+            rec.secondary, cluster, sp, partition.base_placement, warm_source,
             deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed, &repair_stats);
+            rec.secondary_seed, &repair_stats, mip_hint);
         secondary = &repair;
         secondary_stats = &repair_stats;
       }
@@ -464,6 +721,8 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     // Containers of this subproblem's services the merge could NOT keep on
     // the subproblem's own machines (they go to the global fallback).
     int sp_unplaced = 0;
+    // What actually landed, captured for the next cycle's delta cache.
+    std::vector<SubproblemSolution::Assignment> applied;
     if (solution == nullptr) {
       report.failed = true;
       ++result.greedy_fallbacks;
@@ -483,23 +742,25 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         unplaced[s] += cluster.service(s).demand - placed[s];
         sp_unplaced += cluster.service(s).demand - placed[s];
       }
+      applied = std::move(greedy.assignments);
     } else {
       // Apply the assignments to the working placement; defensively skip
       // anything that no longer fits.
       std::vector<int> placed(cluster.num_services(), 0);
       for (const SubproblemSolution::Assignment& a : solution->assignments) {
+        int fit = 0;
         if (working.CanPlace(a.machine, a.service, a.count)) {
           working.Add(a.machine, a.service, a.count);
-          placed[a.service] += a.count;
+          fit = a.count;
         } else {
           // Try placing as many as fit.
-          int fit = 0;
           while (fit < a.count && working.CanPlace(a.machine, a.service)) {
             working.Add(a.machine, a.service);
             ++fit;
           }
-          placed[a.service] += fit;
         }
+        placed[a.service] += fit;
+        if (fit > 0) applied.push_back({a.service, a.machine, fit});
       }
       for (int s : sp.services) {
         unplaced[s] += cluster.service(s).demand - placed[s];
@@ -524,10 +785,51 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
         winner);
     lrec.certificate_bound = term.bound;
     lrec.bound_tightened = term.tightened;
+
+    if (out_state != nullptr) {
+      SubproblemCache& cap = out_state->subproblems[idx];
+      cap.subproblem = sp;
+      cap.assignments = std::move(applied);
+      cap.unplaced = sp_unplaced;
+      cap.realized = report.gained_affinity;
+      cap.bound = term.bound;
+      cap.tightened = term.tightened;
+      cap.bound_source = term.source;
+      cap.algorithm = static_cast<int>(report.algorithm);
+      cap.used_secondary = report.used_secondary;
+      cap.fell_to_greedy = report.failed;
+      cap.ladder_rung = lrec.ladder_rung;
+    }
+
     result.report.certificate.terms.push_back(term);
     result.report.records.push_back(std::move(lrec));
   }
   Tracer::Default().End(merge_id);
+
+  if (out_state != nullptr) {
+    // Residuals the solvers observed (base = trivial residents only),
+    // diffed by the next cycle's DiffSnapshot against its fresh snapshot.
+    const int num_resources = cluster.num_resources();
+    for (int i = 0; i < num_subproblems; ++i) {
+      const Subproblem& sp = partition.subproblems[i];
+      std::vector<double>& res = out_state->subproblems[i].residuals;
+      res.assign(sp.machines.size() * static_cast<size_t>(num_resources),
+                 0.0);
+      for (size_t j = 0; j < sp.machines.size(); ++j) {
+        for (int r = 0; r < num_resources; ++r) {
+          res[j * num_resources + r] =
+              partition.base_placement.FreeResource(sp.machines[j], r);
+        }
+      }
+    }
+    out_state->valid = true;
+    out_state->structure_signature = ClusterStructureSignature(cluster);
+    out_state->num_services = cluster.num_services();
+    out_state->num_machines = cluster.num_machines();
+    out_state->num_resources = num_resources;
+    out_state->master_ratio = partition.stats.master_ratio;
+    out_state->master_affinity = partition.stats.master_affinity;
+  }
 
   // Waterfall snapshot A2: what the subproblem solvers delivered at merge.
   const double merged_affinity = GainedAffinity(cluster, working);
@@ -646,6 +948,7 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     static Counter& breaker = reg.GetCounter("rasa.breaker_skips");
     static Counter& lost = reg.GetCounter("rasa.lost_containers");
     static Counter& moved = reg.GetCounter("rasa.moved_containers");
+    static Counter& reused_sps = reg.GetCounter("rasa.reused_subproblems");
     static Histogram& sp_seconds = reg.GetHistogram("rasa.subproblem_seconds");
     static Histogram& opt_seconds = reg.GetHistogram("rasa.optimize_seconds");
     static Gauge& improvement_gauge = reg.GetGauge("rasa.improvement");
@@ -658,6 +961,7 @@ StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
     breaker.Increment(static_cast<uint64_t>(result.breaker_skips));
     lost.Increment(static_cast<uint64_t>(result.lost_containers));
     moved.Increment(static_cast<uint64_t>(result.moved_containers));
+    reused_sps.Increment(static_cast<uint64_t>(result.reused_subproblems));
     for (const SubproblemReport& report : result.subproblems) {
       sp_seconds.Observe(report.seconds);
     }

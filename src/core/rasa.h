@@ -1,11 +1,13 @@
 #ifndef RASA_CORE_RASA_H_
 #define RASA_CORE_RASA_H_
 
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "cluster/placement.h"
 #include "common/statusor.h"
+#include "core/delta.h"
 #include "core/explain.h"
 #include "core/migration.h"
 #include "core/partitioning.h"
@@ -46,6 +48,9 @@ struct RasaOptions {
   /// DESIGN.md "Threading model").
   int num_threads = 1;
   uint64_t seed = 42;
+  /// Snapshot-differ thresholds of the incremental path (only read by
+  /// OptimizeIncremental; plain Optimize never consults them).
+  DeltaOptions delta;
 };
 
 /// Per-subproblem record for reporting and ablation benches.
@@ -85,6 +90,17 @@ struct RasaResult {
   int greedy_fallbacks = 0;     // bottom of the ladder
   int breaker_skips = 0;        // attempts skipped by an open breaker
 
+  // Incremental-path accounting (OptimizeIncremental only; plain Optimize
+  // leaves the defaults: a full resolve with nothing reused).
+  /// True iff this run reused the cached partitioning (clean subproblems
+  /// skipped the solvers entirely).
+  bool incremental = false;
+  int dirty_subproblems = 0;
+  int reused_subproblems = 0;
+  /// Why the incremental path fell back to a full resolve ("cold-start",
+  /// "structure", "drift-threshold"); empty when it did not.
+  std::string incremental_reason;
+
   PartitionStats partition_stats;
   std::vector<SubproblemReport> subproblems;
 
@@ -114,9 +130,33 @@ class RasaOptimizer {
                                 const Placement& current,
                                 ThreadPool* pool) const;
 
+  /// Delta-aware re-optimization (see DESIGN.md "Incremental
+  /// re-optimization"): diffs the snapshot against `state` (the previous
+  /// cycle's partitioning + solutions), re-solves only dirty subproblems —
+  /// warm-starting CG pattern generation and the MIP incumbent from the
+  /// prior placement — and re-applies cached solutions for clean ones.
+  /// Falls back to a full resolve (identical to `Optimize`) when `state` is
+  /// invalid, the cluster structure changed, or drift exceeds
+  /// `options().delta.full_resolve_fraction`. On success `state` is
+  /// replaced with this run's partitioning + solutions, ready for the next
+  /// cycle; on error it is left untouched.
+  StatusOr<RasaResult> OptimizeIncremental(const Cluster& cluster,
+                                           const Placement& current,
+                                           ThreadPool* pool,
+                                           IncrementalState* state) const;
+
   const RasaOptions& options() const { return options_; }
 
  private:
+  /// Shared implementation: a null `plan` is the stock full resolve
+  /// (bit-identical to the pre-incremental pipeline); a non-null `plan`
+  /// supplies the partition and the reuse/re-solve split. When `out_state`
+  /// is non-null, the merge captures this run's solutions into it.
+  StatusOr<RasaResult> OptimizeWithPlan(const Cluster& cluster,
+                                        const Placement& current,
+                                        ThreadPool* pool, const DeltaPlan* plan,
+                                        IncrementalState* out_state) const;
+
   RasaOptions options_;
   AlgorithmSelector selector_;
 };

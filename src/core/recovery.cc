@@ -184,6 +184,13 @@ std::string EncodeWorkflowCheckpoint(const WorkflowCheckpoint& c) {
      << " " << c.ledger.greedy_fallbacks << " "
      << c.ledger.secondary_successes << " " << c.ledger.certificate_gap
      << "\n";
+  if (c.incremental.valid) {
+    // Optional section: absent for non-incremental runs, and readers that
+    // predate it (old checkpoints) never wrote it.
+    os << "incremental ";
+    EncodeIncrementalState(os, c.incremental);
+    os << "\n";
+  }
   const std::string snapshot = SerializeSnapshot(c.snapshot);
   os << "snapshot " << snapshot.size() << "\n" << snapshot;
   return os.str();
@@ -234,7 +241,18 @@ StatusOr<WorkflowCheckpoint> DecodeWorkflowCheckpoint(const std::string& text) {
         c.ledger.certificate_gap)) {
     return InvalidArgumentError("truncated checkpoint ledger");
   }
-  RASA_RETURN_IF_ERROR(expect("snapshot"));
+  // The `incremental` section is optional (only written when the delta
+  // state is valid; old checkpoints never have it).
+  if (!(is >> token) ||
+      (token != "incremental" && token != "snapshot")) {
+    return InvalidArgumentError("checkpoint: expected 'snapshot'");
+  }
+  if (token == "incremental") {
+    StatusOr<IncrementalState> inc = DecodeIncrementalState(is);
+    if (!inc.ok()) return inc.status();
+    c.incremental = *std::move(inc);
+    RASA_RETURN_IF_ERROR(expect("snapshot"));
+  }
   size_t snapshot_bytes = 0;
   if (!(is >> snapshot_bytes)) {
     return InvalidArgumentError("bad checkpoint snapshot size");
@@ -303,6 +321,7 @@ const char* JournalRecordTypeToString(JournalRecordType type) {
     case JournalRecordType::kBatchCommit: return "batch_commit";
     case JournalRecordType::kExecDone: return "exec_done";
     case JournalRecordType::kDriftIntent: return "drift_intent";
+    case JournalRecordType::kIncrementalState: return "inc_state";
   }
   return "unknown";
 }
@@ -352,6 +371,9 @@ std::string EncodeJournalRecord(const JournalRecord& r) {
       for (const DriftMove& m : r.moves) {
         os << " " << m.service << " " << m.from << " " << m.to;
       }
+      break;
+    case JournalRecordType::kIncrementalState:
+      os << " " << r.incremental_state;
       break;
   }
   return os.str();
@@ -451,6 +473,14 @@ StatusOr<JournalRecord> DecodeJournalRecord(const std::string& payload) {
         return InvalidArgumentError("journal record: truncated drift moves");
       }
     }
+  } else if (kind == "inc_state") {
+    r.type = JournalRecordType::kIncrementalState;
+    // Validate the embedded token stream now so a corrupt payload is caught
+    // at scan time (torn tail) rather than mid-replay; keep the canonical
+    // re-encoding as the stored form.
+    StatusOr<IncrementalState> inc = DecodeIncrementalState(is);
+    if (!inc.ok()) return inc.status();
+    r.incremental_state = EncodeIncrementalStateString(*inc);
   } else {
     return InvalidArgumentError(
         StrFormat("journal record: unknown type '%s'", kind.c_str()));
@@ -545,6 +575,10 @@ StatusOr<RecoveryAnalysis> AnalyzeWorkflowState(const std::string& state_dir) {
       case JournalRecordType::kDriftIntent:
         cj.drift_started = true;
         cj.drift_record = std::move(record);
+        break;
+      case JournalRecordType::kIncrementalState:
+        cj.has_incremental = true;
+        cj.incremental_record = std::move(record);
         break;
     }
   }

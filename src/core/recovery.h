@@ -12,6 +12,7 @@
 #include "cluster/placement.h"
 #include "common/durable_io.h"
 #include "common/statusor.h"
+#include "core/delta.h"
 #include "core/migration.h"
 
 namespace rasa {
@@ -68,6 +69,10 @@ struct WorkflowCheckpoint {
   std::vector<int> frozen_cooldown;
   WorkflowCounters counters;
   LedgerSummary ledger;
+  /// Delta state of the last optimized cycle (incremental mode only;
+  /// `incremental.valid` is false otherwise and for checkpoints written
+  /// before the field existed — decoding stays backward compatible).
+  IncrementalState incremental;
   ClusterSnapshot snapshot;
 };
 
@@ -102,6 +107,7 @@ enum class JournalRecordType {
   kBatchCommit,    // that batch completed and passed its audit
   kExecDone,       // execution finished (counters)
   kDriftIntent,    // about to apply inter-cycle drift (exact moves)
+  kIncrementalState,  // delta state after the cycle's optimizer run
 };
 
 const char* JournalRecordTypeToString(JournalRecordType type);
@@ -145,6 +151,12 @@ struct JournalRecord {
   int sla_violations = 0;
   int feasibility_violations = 0;
   std::vector<DriftMove> moves;                          // kDriftIntent
+  /// kIncrementalState: EncodeIncrementalStateString form of the delta
+  /// state after this cycle's optimizer run. Appended before the cycle's
+  /// decision record, so a journaled decision implies the state that
+  /// produced it is durable and `--resume` replays incremental cycles
+  /// bit-identically.
+  std::string incremental_state;
 };
 
 std::string EncodeJournalRecord(const JournalRecord& record);
@@ -193,6 +205,8 @@ struct CycleJournal {
   JournalRecord exec_record;
   bool drift_started = false;
   JournalRecord drift_record;
+  bool has_incremental = false;
+  JournalRecord incremental_record;  // kIncrementalState
 };
 
 /// The full recovery picture of a state directory: the newest intact

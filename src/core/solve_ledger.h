@@ -63,6 +63,10 @@ struct LedgerRecord {
   int ladder_rung = 0;
   bool used_secondary = false;
   bool fell_to_greedy = false;
+  /// Incremental path only: no solver ran this run — the previous cycle's
+  /// solution was re-applied verbatim (ladder fields echo that solve; both
+  /// attempts read kNotRun).
+  bool reused = false;
 
   double budget_seconds = 0.0;  // primary's reserved budget share
   double seconds = 0.0;         // wall-clock of the speculative solve

@@ -71,6 +71,10 @@ class LpModel {
 
   /// Checks bounds, integrality (for integer variables) and all constraints
   /// within `tolerance`. Returns OK or a message naming the first violation.
+  /// The default equals LpOptions::FeasibilityTolerance() at the default
+  /// simplex tolerance; callers auditing solver output with a non-default
+  /// LpOptions should pass options.FeasibilityTolerance() so the audit
+  /// tracks the kernel's tolerance.
   Status CheckFeasible(const std::vector<double>& solution,
                        double tolerance = 1e-6) const;
 

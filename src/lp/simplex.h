@@ -63,8 +63,15 @@ struct LpOptions {
   /// (scales with model size).
   int max_iterations = 0;
   Deadline deadline = Deadline::Infinite();
-  /// Feasibility / optimality tolerance.
+  /// Feasibility / optimality tolerance of the simplex kernels.
   double tolerance = 1e-7;
+  /// Tolerance for auditing a *solution* against the model
+  /// (LpModel::CheckFeasible): one decade looser than the pivoting
+  /// tolerance, so an answer the kernel accepts never fails its own audit
+  /// on accumulated round-off. Callers auditing simplex output should pass
+  /// this instead of restating a literal — keeping the two tied to one
+  /// knob is what makes tightening `tolerance` safe.
+  double FeasibilityTolerance() const { return 10.0 * tolerance; }
   /// Implementation selector; see LpAlgorithm.
   LpAlgorithm algorithm = LpAlgorithm::kRevised;
   /// Break-even dispatch under kRevised: models with at most this many

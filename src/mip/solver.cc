@@ -142,7 +142,13 @@ void BranchAndBound::OfferIncumbent(const std::vector<double>& x,
   for (int v = 0; v < model_.num_variables(); ++v) {
     if (model_.is_integer(v)) snapped[v] = std::round(snapped[v]);
   }
-  if (!model_.CheckFeasible(snapped, 1e-5).ok()) return;
+  // Audit tolerance derives from the configured tolerances (one decade of
+  // slack over each) instead of a free-standing literal: with the defaults
+  // this is the historical 1e-5, and it tracks any caller override.
+  const double audit_tolerance =
+      std::max(10.0 * options_.integrality_tolerance,
+               options_.lp_options.FeasibilityTolerance());
+  if (!model_.CheckFeasible(snapped, audit_tolerance).ok()) return;
   has_incumbent_ = true;
   incumbent_ = snapped;
   incumbent_objective_ = model_.ObjectiveValue(snapped);

@@ -12,6 +12,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/delta.h"
 #include "core/migration.h"
 #include "core/migration_executor.h"
 #include "core/objective.h"
@@ -145,6 +146,10 @@ class WorkflowRunner {
   WorkflowReport report_;
   Placement live_;
   Rng rng_;
+  // Delta cache carried across cycles (incremental mode only; stays invalid
+  // otherwise). Journaled after every optimizer run and checkpointed, so
+  // resume replays incremental runs bit-identically.
+  IncrementalState inc_state_;
   std::vector<int> frozen_cooldown_;
   FaultInjector injector_;
   std::unique_ptr<ThreadPool> solver_pool_;
@@ -187,6 +192,7 @@ Status WorkflowRunner::WriteCheckpoint(int next_cycle) {
   c.frozen_cooldown = frozen_cooldown_;
   c.counters = CurrentCounters();
   c.ledger = last_ledger_;
+  c.incremental = inc_state_;
   c.snapshot.name = StrFormat("workflow-cycle-%d", next_cycle);
   c.snapshot.cluster = checkpoint_cluster_;
   c.snapshot.original_placement =
@@ -225,6 +231,7 @@ Status WorkflowRunner::InitResume() {
   RASA_RETURN_IF_ERROR(rng_.RestoreState(c.rng_state));
   frozen_cooldown_ = c.frozen_cooldown;
   last_ledger_ = c.ledger;
+  inc_state_ = c.incremental;
   report_.executions = c.counters.executions;
   report_.dry_runs = c.counters.dry_runs;
   report_.rollbacks = c.counters.rollbacks;
@@ -265,6 +272,17 @@ Status WorkflowRunner::CycleTail(int cycle, CycleReport cr, Stopwatch& timer,
     cr.metrics = MetricRegistry::Default().Scrape();
   }
   report_.cycles.push_back(std::move(cr));
+
+  // Re-base the delta cache on the placement the cycle actually ended with
+  // (local search moves trivial containers, executions go partial, plans
+  // roll back) so the next diff sees only real drift. Runs in the recovery
+  // tail too — it is a pure function of (state, live placement), which is
+  // what keeps `--resume` bit-identical: recovery decodes the journaled
+  // pre-decision state and re-derives the same re-base from the
+  // rolled-forward placement.
+  if (options_.incremental && inc_state_.valid) {
+    RebaseIncrementalState(cluster_, live_, &inc_state_);
+  }
 
   // Cluster drift before the next cycle. Fresh cycles journal the intent
   // (explicit move list + post-draw RNG state) before applying; recovered
@@ -355,11 +373,18 @@ Status WorkflowRunner::RunCycleNormal(int cycle) {
     rasa_options.timeout_seconds = 0.0;
   }
   RasaOptimizer optimizer(rasa_options, selector_);
-  StatusOr<RasaResult> optimized =
-      options_.inject_faults && injector_.DrawOptimizerFailure()
-          ? StatusOr<RasaResult>(InternalError("injected optimizer failure"))
-          : optimizer.Optimize(*state.measured_cluster, state.placement,
-                               solver_pool_.get());
+  StatusOr<RasaResult> optimized = [&]() -> StatusOr<RasaResult> {
+    if (options_.inject_faults && injector_.DrawOptimizerFailure()) {
+      return InternalError("injected optimizer failure");
+    }
+    if (options_.incremental) {
+      return optimizer.OptimizeIncremental(*state.measured_cluster,
+                                           state.placement, solver_pool_.get(),
+                                           &inc_state_);
+    }
+    return optimizer.Optimize(*state.measured_cluster, state.placement,
+                              solver_pool_.get());
+  }();
   DryReason dry_reason = DryReason::kBelowThreshold;
   if (!optimized.ok()) {
     RASA_LOG(Warning) << "cycle " << cycle << " optimizer failed: "
@@ -370,6 +395,22 @@ Status WorkflowRunner::RunCycleNormal(int cycle) {
     ++report_.solver_failures;
   } else {
     cr.predicted_affinity = optimized->new_gained_affinity;
+    cr.incremental = optimized->incremental;
+    cr.dirty_subproblems = optimized->dirty_subproblems;
+    cr.reused_subproblems = optimized->reused_subproblems;
+    cr.incremental_reason = optimized->incremental_reason;
+    if (durable_ && options_.incremental && inc_state_.valid) {
+      // The delta state must be durable before the cycle's decision record:
+      // a journaled decision then implies recovery can restore the exact
+      // cache the next live cycle diffs against. A crash in between leaves
+      // the decision at kNone and the cycle re-runs live off the
+      // checkpointed (pre-cycle) state.
+      JournalRecord inc;
+      inc.type = JournalRecordType::kIncrementalState;
+      inc.cycle = cycle;
+      inc.incremental_state = EncodeIncrementalStateString(inc_state_);
+      RASA_RETURN_IF_ERROR(journal_->Append(inc));
+    }
     cr.explain = optimized->report;
     if (cr.explain.populated) {
       last_ledger_.subproblems = static_cast<int>(cr.explain.records.size());
@@ -559,6 +600,14 @@ Status WorkflowRunner::CompleteCycleFromJournal(int cycle,
   cr.recovered = true;
   cr.affinity_before = GainedAffinity(cluster_, expected_start_);
   ++report_.recovery.cycles_completed_from_journal;
+  if (cj.has_incremental) {
+    // The interrupted cycle's post-optimizer delta state was journaled
+    // before its decision record; restore it so subsequent live cycles diff
+    // against the same cache the original run carried.
+    RASA_ASSIGN_OR_RETURN(
+        inc_state_,
+        DecodeIncrementalStateString(cj.incremental_record.incremental_state));
+  }
 
   Placement pre_drift = expected_start_;
   switch (cj.decision) {
@@ -739,6 +788,20 @@ Status ValidateWorkflowOptions(const WorkflowOptions& options) {
     return InvalidArgumentError(
         StrFormat("max_replans must be positive (got %d)",
                   options.max_replans));
+  }
+  if (!(options.rollback_utilization_threshold >= 1.0)) {
+    // Collocation legitimately packs machines to 100%; a threshold below
+    // 1.0 (or NaN, caught by the negated comparison) would roll back every
+    // healthy execution.
+    return InvalidArgumentError(
+        StrFormat("rollback_utilization_threshold must be at least 1.0 "
+                  "(got %g)",
+                  options.rollback_utilization_threshold));
+  }
+  if (options.unschedulable_cycles < 0) {
+    return InvalidArgumentError(
+        StrFormat("unschedulable_cycles must be non-negative (got %d)",
+                  options.unschedulable_cycles));
   }
   if (options.resume && options.state_dir.empty()) {
     return InvalidArgumentError("resume requires a state_dir");

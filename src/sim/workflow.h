@@ -71,13 +71,25 @@ struct WorkflowOptions {
   /// cleanly, re-runs the SLA/feasibility audits, and continues at the
   /// interrupted cycle. Requires a non-empty `state_dir`.
   bool resume = false;
+  /// Delta-aware re-optimization (off by default): cycles after the first
+  /// call RasaOptimizer::OptimizeIncremental, re-solving only the
+  /// subproblems the snapshot differ marks dirty and re-applying the prior
+  /// cycle's solutions for the rest (see DESIGN.md "Incremental
+  /// re-optimization"). The delta state is journaled and checkpointed, so
+  /// `resume` replays incremental runs bit-identically. Thresholds live in
+  /// `rasa.delta`. Note: `measurement_noise` re-randomizes every affinity
+  /// weight per cycle, which the differ reports as full drift — pair
+  /// incremental mode with exact measurement or raise
+  /// `rasa.delta.weight_tolerance` to cover the noise band.
+  bool incremental = false;
   uint64_t seed = 99;
 };
 
 /// Validates option ranges up front: negative `cycles`, `drift_fraction` or
-/// `measurement_noise` outside [0, 1], non-positive `max_replans`, and
-/// `resume` without a `state_dir` all return kInvalidArgument. RunWorkflow
-/// calls this before touching any state.
+/// `measurement_noise` outside [0, 1], non-positive `max_replans`,
+/// `rollback_utilization_threshold` below 1.0, negative
+/// `unschedulable_cycles`, and `resume` without a `state_dir` all return
+/// kInvalidArgument. RunWorkflow calls this before touching any state.
 Status ValidateWorkflowOptions(const WorkflowOptions& options);
 
 struct CycleReport {
@@ -106,6 +118,16 @@ struct CycleReport {
   /// executions, executor re-planning, and measurement noise all land
   /// here). 0 for dry-runs and rollbacks.
   double migration_truncation = 0.0;
+  // Incremental-path accounting (all defaults unless
+  // WorkflowOptions::incremental; mirrors RasaResult).
+  /// The cycle reused the cached partitioning (false also covers the
+  /// incremental mode's full-resolve fallbacks).
+  bool incremental = false;
+  int dirty_subproblems = 0;
+  int reused_subproblems = 0;
+  /// Fallback reason when incremental mode resolved from scratch
+  /// ("cold-start", "structure", "drift-threshold"); empty otherwise.
+  std::string incremental_reason;
   /// The optimizer run's explain report (flight-recorder records, quality
   /// certificate, attribution waterfall, placement diff — see explain.h).
   /// Unpopulated when the optimizer failed.

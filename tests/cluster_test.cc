@@ -157,6 +157,40 @@ TEST(PlacementTest, CheckFeasibleCatchesOverCapacity) {
   EXPECT_FALSE(p.CheckFeasible(false).ok());
 }
 
+// CanPlace and CheckFeasible share kCapacityTolerance: the audit accepts
+// exactly what admission accepts, on both sides of the boundary.
+TEST(PlacementTest, AdmissionAndAuditShareTheCapacityTolerance) {
+  // One resource, capacity 1.0; two containers of the service fill it to
+  // 1.0 + 2*excess.
+  auto make = [](double excess) {
+    std::vector<Service> services = {{"s", 2, {0.5 + excess}, 0}};
+    std::vector<Machine> machines = {{"m", 0, {1.0}, 0}};
+    return Cluster({"cpu"}, std::move(services), std::move(machines),
+                   AffinityGraph(1), {});
+  };
+
+  // Overshoot well inside the tolerance: admitted, and the audit agrees.
+  const Cluster fits = make(kCapacityTolerance / 20.0);
+  Placement p_fits(fits);
+  ASSERT_TRUE(p_fits.CanPlace(0, 0));
+  p_fits.Add(0, 0);
+  EXPECT_TRUE(p_fits.CanPlace(0, 0));
+  p_fits.Add(0, 0);
+  EXPECT_TRUE(p_fits.CheckFeasible(false).ok());
+
+  // Overshoot past the tolerance: refused — and after forcing the second
+  // container in anyway (Add does not check), the audit catches exactly
+  // what admission refused. With split tolerances one of these two
+  // expectations would fail.
+  const Cluster overflows = make(kCapacityTolerance);
+  Placement p_over(overflows);
+  ASSERT_TRUE(p_over.CanPlace(0, 0));
+  p_over.Add(0, 0);
+  EXPECT_FALSE(p_over.CanPlace(0, 0));
+  p_over.Add(0, 0);
+  EXPECT_FALSE(p_over.CheckFeasible(false).ok());
+}
+
 TEST(PlacementTest, RuleCountAggregatesAcrossRuleMembers) {
   std::vector<Service> services = {{"a", 2, {1.0}, 0}, {"b", 2, {1.0}, 0}};
   std::vector<Machine> machines = {{"m", 0, {10.0}, 0}};

@@ -61,6 +61,32 @@ TEST(LpModelTest, CheckFeasibleDetectsViolations) {
   EXPECT_FALSE(m.CheckFeasible({1.0, 2.0}).ok());  // size
 }
 
+// The audit tolerance is tied to the kernel tolerance
+// (LpOptions::FeasibilityTolerance() == 10 * tolerance): solutions the
+// kernel would accept pass the audit at the derived tolerance on both
+// sides of the boundary, and the coupling tracks overrides.
+TEST(LpModelTest, FeasibilityToleranceTracksKernelTolerance) {
+  LpOptions options;  // tolerance = 1e-7
+  EXPECT_DOUBLE_EQ(options.FeasibilityTolerance(), 1e-6);
+  options.tolerance = 1e-9;
+  EXPECT_DOUBLE_EQ(options.FeasibilityTolerance(), 1e-8);
+
+  LpModel m;
+  int x = m.AddVariable(0, 10, 1.0);
+  m.AddConstraint(ConstraintType::kLessEqual, 5.0, {{x, 1.0}});
+  // Violation between the two derived tolerances: the default audit
+  // accepts it, the tightened audit rejects it — a differential that only
+  // holds while the audit tolerance derives from the kernel tolerance.
+  const std::vector<double> boundary = {5.0 + 1e-7};
+  LpOptions defaults;
+  EXPECT_TRUE(m.CheckFeasible(boundary, defaults.FeasibilityTolerance()).ok());
+  EXPECT_FALSE(m.CheckFeasible(boundary, options.FeasibilityTolerance()).ok());
+  // Just inside even the tightened audit: both accept.
+  const std::vector<double> inside = {5.0 + 1e-9};
+  EXPECT_TRUE(m.CheckFeasible(inside, defaults.FeasibilityTolerance()).ok());
+  EXPECT_TRUE(m.CheckFeasible(inside, options.FeasibilityTolerance()).ok());
+}
+
 TEST(LpModelTest, ObjectiveValue) {
   LpModel m;
   int x = m.AddVariable(0, 10, 2.0);
