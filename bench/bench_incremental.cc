@@ -1,5 +1,5 @@
 // Incremental re-optimization bench (not a paper figure): steady-state
-// cycle cost of OptimizeIncremental vs a full Optimize on the fig-10-scale
+// cycle cost of the incremental Optimize path vs a cold Optimize on the fig-10-scale
 // M1 instance under seeded container churn.
 //
 // Protocol, per drift level: both tracks start from the same optimized
@@ -69,7 +69,7 @@ bool Identical(const RasaResult& a, const RasaResult& b) {
 
 int main() {
   PrintHeader("Incremental re-optimization — delta-aware control loop",
-              "steady-state OptimizeIncremental vs full Optimize under churn");
+              "steady-state incremental Optimize vs full Optimize under churn");
 
   const AlgorithmSelector selector(SelectorPolicy::kHeuristic);
   RasaOptions options;
@@ -117,12 +117,12 @@ int main() {
     }
     IncrementalState state;
     StatusOr<RasaResult> prime =
-        optimizer.OptimizeIncremental(cluster, steady, nullptr, &state);
+        optimizer.Optimize(cluster, steady, OptimizeContext(nullptr, &state));
     RASA_CHECK(prime.ok()) << prime.status().ToString();
     StatusOr<RasaResult> full = optimizer.Optimize(drifted, rebound);
     RASA_CHECK(full.ok()) << full.status().ToString();
     StatusOr<RasaResult> inc =
-        optimizer.OptimizeIncremental(drifted, rebound, nullptr, &state);
+        optimizer.Optimize(drifted, rebound, OptimizeContext(nullptr, &state));
     RASA_CHECK(inc.ok()) << inc.status().ToString();
     if (inc->incremental || !Identical(*full, *inc)) {
       std::fprintf(stderr,
@@ -157,7 +157,7 @@ int main() {
     Placement inc_live = steady;
     IncrementalState state;
     StatusOr<RasaResult> prime =
-        optimizer.OptimizeIncremental(cluster, inc_live, nullptr, &state);
+        optimizer.Optimize(cluster, inc_live, OptimizeContext(nullptr, &state));
     RASA_CHECK(prime.ok()) << prime.status().ToString();
     inc_live = prime->new_placement;
     RebaseIncrementalState(cluster, inc_live, &state);
@@ -176,7 +176,7 @@ int main() {
       Churn(cluster, inc_live, drift, inc_rng);
       Stopwatch inc_timer;
       StatusOr<RasaResult> inc =
-          optimizer.OptimizeIncremental(cluster, inc_live, nullptr, &state);
+          optimizer.Optimize(cluster, inc_live, OptimizeContext(nullptr, &state));
       const double inc_seconds = inc_timer.ElapsedSeconds();
       RASA_CHECK(inc.ok()) << inc.status().ToString();
       inc_live = inc->new_placement;

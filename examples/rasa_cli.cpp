@@ -1,52 +1,21 @@
 // rasa_cli — command-line front end for the library.
 //
-//   rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>
-//       Generate a synthetic cluster snapshot and write it to disk.
-//   rasa_cli stats <in.snapshot>
-//       Print the cluster's scale, affinity structure, and current
-//       gained affinity.
-//   rasa_cli optimize <in.snapshot> [timeout_s] [out.snapshot]
-//       Run the RASA algorithm on the snapshot; print the improvement and
-//       the migration plan summary; optionally write the optimized
-//       snapshot back to disk.
-//   rasa_cli workflow <in.snapshot> [cycles] [fail_prob] [cordon_after] [seed]
-//       Simulate the periodic CronJob workflow with the hardened migration
-//       executor; with fail_prob > 0 or cordon_after >= 0 the chaos
-//       harness injects command failures / a mid-migration machine cordon.
-//       With --state-dir=DIR the loop is crash-safe: every cycle is
-//       checkpointed and migrations run under a write-ahead journal; adding
-//       --resume recovers an interrupted run (reconciling the journal
-//       against the durable state) and continues at the interrupted cycle.
-//   rasa_cli recover <state-dir>
-//       Inspect a durable state directory without resuming: checkpoint
-//       summary, journal records, and the applied / not-applied / torn
-//       classification of any in-flight migration commands.
-//   rasa_cli explain <in.snapshot> [cycles] [timeout_s]
-//       Run the workflow with noise-free measurement and print each
-//       cycle's explain report: per-subproblem solver records, the
-//       optimality-gap certificate, the attribution waterfall, and the
-//       placement diff. With --metrics-out, the same data is embedded as
-//       the JSON "report" section.
+// Every invocation is parsed ONCE into a validated `CliConfig` before any
+// work runs: subcommand, positional operands, and flags all come from one
+// declarative registry (kCommands / kFlags below). `rasa_cli help` and
+// `rasa_cli help <subcommand>` are generated from that registry, so the
+// help text cannot drift from what the parser accepts, and an unknown or
+// misplaced flag is a hard error (exit 2) instead of a silent ignore.
 //
-// `optimize` and `workflow` additionally accept anywhere on the command
-// line:
-//   --threads N          N solver worker threads (0 = one per hardware
-//                        thread, default 1 = sequential). The optimized
-//                        placement is bit-identical at every thread count
-//                        and with metrics on or off.
-//   --metrics-out=FILE   after the run, scrape the metric registry and
-//                        write a machine-readable JSON report (counters,
-//                        gauges, histograms; for `workflow` also the
-//                        per-cycle snapshots; plus the trace when --trace
-//                        is on).
-//   --trace              record the hierarchical phase timeline and print
-//                        it as an indented tree on stderr.
+// Run `rasa_cli help` for the subcommand list and `rasa_cli help workflow`
+// (etc.) for per-subcommand operands and flags.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "cluster/serialization.h"
 #include "common/durable_io.h"
@@ -63,103 +32,298 @@ namespace {
 
 using namespace rasa;
 
-int Usage() {
-  std::fprintf(
-      stderr,
-      "usage:\n"
-      "  rasa_cli generate <M1|M2|M3|M4> <scale> <out.snapshot>\n"
-      "  rasa_cli stats <in.snapshot>\n"
-      "  rasa_cli optimize [flags] <in.snapshot> [timeout_s] "
-      "[out.snapshot]\n"
-      "  rasa_cli workflow [flags] <in.snapshot> [cycles] [fail_prob] "
-      "[cordon_after] [seed]\n"
-      "  rasa_cli explain [flags] <in.snapshot> [cycles] [timeout_s]\n"
-      "  rasa_cli recover <state-dir>\n"
-      "flags (optimize/workflow, anywhere on the line):\n"
-      "  --threads N         solver worker threads (0 = hardware threads)\n"
-      "  --metrics-out=FILE  write a JSON metrics/trace report after the "
-      "run\n"
-      "  --trace             record + print the phase timeline\n"
-      "flags (workflow only):\n"
-      "  --state-dir=DIR     durable checkpoints + migration write-ahead "
-      "journal in DIR\n"
-      "  --resume            recover + resume an interrupted run from "
-      "--state-dir\n"
-      "  --incremental       delta-aware re-optimization: re-solve only the "
-      "partitions\n"
-      "                      the snapshot differ marks dirty (implies "
-      "noise-free\n"
-      "                      measurement; see DESIGN.md)\n");
+// ---------------------------------------------------------------------------
+// CliConfig: the single parsed + validated form of a command line.
+// ---------------------------------------------------------------------------
+
+struct CliConfig {
+  std::string command;
+  std::vector<std::string> args;  // positional operands after the subcommand
+
+  // Flag values (every flag lives here; the registry below says which
+  // subcommands accept which).
+  int threads = 1;
+  std::string metrics_out;
+  bool trace = false;
+  std::string state_dir;
+  bool resume = false;
+  bool incremental = false;
+};
+
+// Bitmask of subcommands a flag applies to.
+enum CommandBit : unsigned {
+  kGenerate = 1u << 0,
+  kStats = 1u << 1,
+  kOptimize = 1u << 2,
+  kWorkflow = 1u << 3,
+  kExplain = 1u << 4,
+  kRecover = 1u << 5,
+};
+
+struct CommandSpec {
+  const char* name;
+  unsigned bit;
+  int min_args;
+  int max_args;
+  const char* synopsis;  // positional operands
+  const char* help;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"generate", kGenerate, 3, 3, "<M1|M2|M3|M4> <scale> <out.snapshot>",
+     "Generate a synthetic cluster snapshot and write it to disk.\n"
+     "Scale 1 reproduces the preset's Table II row exactly; the default\n"
+     "bench scale is 16."},
+    {"stats", kStats, 1, 1, "<in.snapshot>",
+     "Print the cluster's scale, affinity structure, and current gained\n"
+     "affinity."},
+    {"optimize", kOptimize, 1, 3, "<in.snapshot> [timeout_s] [out.snapshot]",
+     "Run the RASA algorithm on the snapshot; print the improvement and\n"
+     "the migration plan summary; optionally write the optimized snapshot\n"
+     "back to disk."},
+    {"workflow", kWorkflow, 1, 5,
+     "<in.snapshot> [cycles] [fail_prob] [cordon_after] [seed]",
+     "Simulate the periodic CronJob workflow with the hardened migration\n"
+     "executor; with fail_prob > 0 or cordon_after >= 0 the chaos harness\n"
+     "injects command failures / a mid-migration machine cordon. With\n"
+     "--state-dir=DIR the loop is crash-safe: every cycle is checkpointed\n"
+     "and migrations run under a write-ahead journal; adding --resume\n"
+     "recovers an interrupted run and continues at the interrupted cycle."},
+    {"explain", kExplain, 1, 3, "<in.snapshot> [cycles] [timeout_s]",
+     "Run the workflow with noise-free measurement and print each cycle's\n"
+     "explain report: per-subproblem solver records, the optimality-gap\n"
+     "certificate, the attribution waterfall, and the placement diff.\n"
+     "With --metrics-out, the same data is embedded as the JSON \"report\"\n"
+     "section."},
+    {"recover", kRecover, 1, 1, "<state-dir>",
+     "Inspect a durable state directory without resuming: checkpoint\n"
+     "summary, journal records, and the applied / not-applied / torn\n"
+     "classification of any in-flight migration commands."},
+};
+
+struct FlagSpec {
+  const char* name;        // including the leading "--"
+  unsigned commands;       // which subcommands accept it
+  const char* value_name;  // nullptr for presence-only flags
+  const char* help;
+  // Parses `value` into `config`; returns false on a malformed value.
+  bool (*apply)(CliConfig& config, const std::string& value);
+};
+
+constexpr unsigned kRunCommands = kOptimize | kWorkflow | kExplain;
+
+const FlagSpec kFlags[] = {
+    {"--threads", kRunCommands, "N",
+     "solver worker threads (0 = one per hardware thread, default 1 =\n"
+     "sequential). The optimized placement is bit-identical at every\n"
+     "thread count.",
+     [](CliConfig& c, const std::string& v) {
+       char* end = nullptr;
+       const long n = std::strtol(v.c_str(), &end, 10);
+       if (end == v.c_str() || *end != '\0' || n < 0) return false;
+       c.threads = static_cast<int>(n);
+       return true;
+     }},
+    {"--metrics-out", kRunCommands, "FILE",
+     "after the run, scrape the metric registry and write a\n"
+     "machine-readable JSON report (counters, gauges, histograms; for\n"
+     "`workflow` also the per-cycle snapshots; plus the trace when\n"
+     "--trace is on).",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.metrics_out = v;
+       return true;
+     }},
+    {"--trace", kRunCommands, nullptr,
+     "record the hierarchical phase timeline and print it as an indented\n"
+     "tree on stderr.",
+     [](CliConfig& c, const std::string&) {
+       c.trace = true;
+       return true;
+     }},
+    {"--state-dir", kWorkflow, "DIR",
+     "durable checkpoints + migration write-ahead journal in DIR.",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.state_dir = v;
+       return true;
+     }},
+    {"--resume", kWorkflow, nullptr,
+     "recover + resume an interrupted run from --state-dir.",
+     [](CliConfig& c, const std::string&) {
+       c.resume = true;
+       return true;
+     }},
+    {"--incremental", kWorkflow, nullptr,
+     "delta-aware re-optimization: re-solve only the partitions the\n"
+     "snapshot differ marks dirty (implies noise-free measurement; see\n"
+     "DESIGN.md).",
+     [](CliConfig& c, const std::string&) {
+       c.incremental = true;
+       return true;
+     }},
+};
+
+const CommandSpec* FindCommand(const std::string& name) {
+  for (const CommandSpec& cmd : kCommands) {
+    if (name == cmd.name) return &cmd;
+  }
+  return nullptr;
+}
+
+// Prints `text` with every line prefixed by `indent`.
+void PrintIndented(const char* indent, const char* text) {
+  const char* line = text;
+  while (*line != '\0') {
+    const char* nl = std::strchr(line, '\n');
+    const size_t len = nl != nullptr ? static_cast<size_t>(nl - line)
+                                     : std::strlen(line);
+    std::fprintf(stderr, "%s%.*s\n", indent, static_cast<int>(len), line);
+    line += len + (nl != nullptr ? 1 : 0);
+  }
+}
+
+// `rasa_cli help`: the one-screen overview, generated from kCommands.
+int HelpOverview() {
+  std::fprintf(stderr, "usage: rasa_cli <subcommand> [flags] <operands...>\n");
+  std::fprintf(stderr, "subcommands:\n");
+  for (const CommandSpec& cmd : kCommands) {
+    std::fprintf(stderr, "  rasa_cli %s %s\n", cmd.name, cmd.synopsis);
+  }
+  std::fprintf(stderr,
+               "run `rasa_cli help <subcommand>` for its operands and "
+               "flags.\n");
   return 2;
 }
 
-// Extracts `--threads N` from argv (compacting the remaining arguments) and
-// returns N; 1 when the flag is absent.
-int ExtractThreads(int& argc, char** argv) {
-  int threads = 1;
-  int out = 0;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      continue;
-    }
-    argv[out++] = argv[i];
+// `rasa_cli help <subcommand>`: operands + the flags this subcommand
+// accepts, straight from the registry.
+int HelpCommand(const std::string& name) {
+  const CommandSpec* cmd = FindCommand(name);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "rasa_cli: unknown subcommand '%s'\n", name.c_str());
+    return HelpOverview();
   }
-  argc = out;
-  return threads;
+  std::fprintf(stderr, "usage: rasa_cli %s [flags] %s\n", cmd->name,
+               cmd->synopsis);
+  PrintIndented("  ", cmd->help);
+  bool any = false;
+  for (const FlagSpec& flag : kFlags) {
+    if ((flag.commands & cmd->bit) == 0) continue;
+    if (!any) std::fprintf(stderr, "flags:\n");
+    any = true;
+    if (flag.value_name != nullptr) {
+      std::fprintf(stderr, "  %s=%s\n", flag.name, flag.value_name);
+    } else {
+      std::fprintf(stderr, "  %s\n", flag.name);
+    }
+    PrintIndented("      ", flag.help);
+  }
+  if (!any) std::fprintf(stderr, "flags: none\n");
+  return 2;
 }
 
-// Extracts `<flag>=VALUE` (or `<flag> VALUE`) from argv and returns VALUE;
-// empty when absent.
-std::string ExtractStringFlag(int& argc, char** argv, const char* flag) {
-  const size_t flag_len = std::strlen(flag);
-  std::string value;
-  int out = 0;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strncmp(argv[i], flag, flag_len) == 0 &&
-        argv[i][flag_len] == '=') {
-      value = argv[i] + flag_len + 1;
-      continue;
-    }
-    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      value = argv[++i];
-      continue;
-    }
-    argv[out++] = argv[i];
+// Parses argv into `config`. Flags may appear anywhere after the
+// subcommand; anything else is a positional operand. Unknown flags, flags
+// the subcommand does not accept, malformed values, and bad operand
+// counts are all hard errors.
+int ParseCliConfig(int argc, char** argv, CliConfig& config) {
+  if (argc < 2) return HelpOverview();
+  config.command = argv[1];
+  if (config.command == "help" || config.command == "--help" ||
+      config.command == "-h") {
+    return argc > 2 ? HelpCommand(argv[2]) : HelpOverview();
   }
-  argc = out;
-  return value;
+  const CommandSpec* cmd = FindCommand(config.command);
+  if (cmd == nullptr) {
+    std::fprintf(stderr, "rasa_cli: unknown subcommand '%s'\n",
+                 config.command.c_str());
+    return HelpOverview();
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      config.args.push_back(arg);
+      continue;
+    }
+    // Split --name=value.
+    const char* eq = std::strchr(arg, '=');
+    const std::string name =
+        eq != nullptr ? std::string(arg, eq - arg) : std::string(arg);
+    const FlagSpec* match = nullptr;
+    for (const FlagSpec& flag : kFlags) {
+      if (name == flag.name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr,
+                   "rasa_cli: unknown flag %s (try `rasa_cli help %s`)\n",
+                   name.c_str(), cmd->name);
+      return 2;
+    }
+    if ((match->commands & cmd->bit) == 0) {
+      std::fprintf(stderr, "rasa_cli: flag %s is not accepted by '%s' (try "
+                           "`rasa_cli help %s`)\n",
+                   name.c_str(), cmd->name, cmd->name);
+      return 2;
+    }
+    std::string value;
+    if (match->value_name != nullptr) {
+      if (eq != nullptr) {
+        value = eq + 1;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::fprintf(stderr, "rasa_cli: flag %s needs a value (%s=%s)\n",
+                     name.c_str(), name.c_str(), match->value_name);
+        return 2;
+      }
+    } else if (eq != nullptr) {
+      std::fprintf(stderr, "rasa_cli: flag %s takes no value\n", name.c_str());
+      return 2;
+    }
+    if (!match->apply(config, value)) {
+      std::fprintf(stderr, "rasa_cli: bad value for %s: '%s'\n", name.c_str(),
+                   value.c_str());
+      return 2;
+    }
+  }
+
+  const int num_args = static_cast<int>(config.args.size());
+  if (num_args < cmd->min_args || num_args > cmd->max_args) {
+    std::fprintf(stderr, "rasa_cli: %s expects %s, got %d operand%s\n",
+                 cmd->name, cmd->synopsis, num_args,
+                 num_args == 1 ? "" : "s");
+    return HelpCommand(cmd->name);
+  }
+  // Cross-flag validation.
+  if (config.resume && config.state_dir.empty()) {
+    std::fprintf(stderr, "rasa_cli: --resume requires --state-dir\n");
+    return 2;
+  }
+  return 0;
 }
 
-// Extracts the presence of a bare `<flag>` from argv.
-bool ExtractBoolFlag(int& argc, char** argv, const char* flag) {
-  bool present = false;
-  int out = 0;
-  for (int i = 0; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) {
-      present = true;
-      continue;
-    }
-    argv[out++] = argv[i];
-  }
-  argc = out;
-  return present;
-}
+// ---------------------------------------------------------------------------
+// Subcommand implementations (all consume the validated CliConfig).
+// ---------------------------------------------------------------------------
 
 // Post-run observability output: writes the JSON report (registry scrape +
 // optional per-cycle workflow snapshots + completed trace spans + explain
 // reports) and prints the human-readable trace tree. `single_run` embeds
 // one Optimize run's explain report; `explain_cycles` embeds every
 // workflow cycle's. Returns false if the file write failed.
-bool EmitObservability(const std::string& metrics_out, bool trace,
-                       const WorkflowReport* workflow,
+bool EmitObservability(const CliConfig& config, const WorkflowReport* workflow,
                        const RasaResult* single_run = nullptr,
                        bool explain_cycles = false) {
-  if (trace) {
+  if (config.trace) {
     std::fprintf(stderr, "--- phase trace ---\n%s",
                  Tracer::Default().SummaryTree().c_str());
   }
-  if (metrics_out.empty()) return true;
+  if (config.metrics_out.empty()) return true;
   JsonWriter w;
   w.BeginObject();
   w.Key("metrics");
@@ -193,26 +357,25 @@ bool EmitObservability(const std::string& metrics_out, bool trace,
     }
     w.EndArray();
   }
-  if (trace) {
+  if (config.trace) {
     w.Key("trace");
     Tracer::Default().AppendJson(w);
   }
   w.EndObject();
   // Crash-atomic: a report file is either absent or complete, never torn.
-  const Status written = AtomicWriteFile(metrics_out, w.str() + "\n");
+  const Status written = AtomicWriteFile(config.metrics_out, w.str() + "\n");
   if (!written.ok()) {
-    std::fprintf(stderr, "metrics: cannot write %s: %s\n", metrics_out.c_str(),
-                 written.ToString().c_str());
+    std::fprintf(stderr, "metrics: cannot write %s: %s\n",
+                 config.metrics_out.c_str(), written.ToString().c_str());
     return false;
   }
-  std::fprintf(stderr, "metrics: wrote %s\n", metrics_out.c_str());
+  std::fprintf(stderr, "metrics: wrote %s\n", config.metrics_out.c_str());
   return true;
 }
 
-int Generate(int argc, char** argv) {
-  if (argc < 5) return Usage();
-  const std::string preset = argv[2];
-  const double scale = std::atof(argv[3]);
+int Generate(const CliConfig& config) {
+  const std::string& preset = config.args[0];
+  const double scale = std::atof(config.args[1].c_str());
   ClusterSpec spec;
   if (preset == "M1") {
     spec = M1Spec(scale);
@@ -223,7 +386,9 @@ int Generate(int argc, char** argv) {
   } else if (preset == "M4") {
     spec = M4Spec(scale);
   } else {
-    return Usage();
+    std::fprintf(stderr, "rasa_cli: unknown preset '%s' (M1|M2|M3|M4)\n",
+                 preset.c_str());
+    return 2;
   }
   StatusOr<ClusterSnapshot> snapshot = GenerateCluster(spec);
   if (!snapshot.ok()) {
@@ -231,21 +396,20 @@ int Generate(int argc, char** argv) {
                  snapshot.status().ToString().c_str());
     return 1;
   }
-  const Status saved = SaveSnapshotToFile(*snapshot, argv[4]);
+  const Status saved = SaveSnapshotToFile(*snapshot, config.args[2]);
   if (!saved.ok()) {
     std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %d services, %d containers, %d machines\n", argv[4],
-              snapshot->cluster->num_services(),
+  std::printf("wrote %s: %d services, %d containers, %d machines\n",
+              config.args[2].c_str(), snapshot->cluster->num_services(),
               snapshot->cluster->num_containers(),
               snapshot->cluster->num_machines());
   return 0;
 }
 
-int Stats(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+int Stats(const CliConfig& config) {
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(config.args[0]);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
     return 1;
@@ -269,17 +433,16 @@ int Stats(int argc, char** argv) {
   return 0;
 }
 
-int Optimize(int argc, char** argv, int threads,
-             const std::string& metrics_out, bool trace) {
-  if (argc < 3) return Usage();
-  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+int Optimize(const CliConfig& config) {
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(config.args[0]);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
     return 1;
   }
   RasaOptions options;
-  options.timeout_seconds = argc > 3 ? std::atof(argv[3]) : 2.0;
-  options.num_threads = threads;
+  options.timeout_seconds =
+      config.args.size() > 1 ? std::atof(config.args[1].c_str()) : 2.0;
+  options.num_threads = config.threads;
   RasaOptimizer optimizer(options,
                           AlgorithmSelector(SelectorPolicy::kHeuristic));
   StatusOr<RasaResult> result =
@@ -301,56 +464,55 @@ int Optimize(int argc, char** argv, int threads,
   } else {
     std::printf("dry-run (improvement below threshold)\n");
   }
-  if (argc > 4) {
+  if (config.args.size() > 2) {
     ClusterSnapshot optimized{snapshot->name + "-optimized",
                               snapshot->cluster, result->new_placement};
-    const Status saved = SaveSnapshotToFile(optimized, argv[4]);
+    const Status saved = SaveSnapshotToFile(optimized, config.args[2]);
     if (!saved.ok()) {
       std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
       return 1;
     }
-    std::printf("wrote optimized snapshot to %s\n", argv[4]);
+    std::printf("wrote optimized snapshot to %s\n", config.args[2].c_str());
   }
-  return EmitObservability(metrics_out, trace, nullptr, &*result) ? 0 : 1;
+  return EmitObservability(config, nullptr, &*result) ? 0 : 1;
 }
 
-int Workflow(int argc, char** argv, int threads,
-             const std::string& metrics_out, bool trace,
-             const std::string& state_dir, bool resume, bool incremental) {
-  if (argc < 3) return Usage();
-  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+int Workflow(const CliConfig& config) {
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(config.args[0]);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
     return 1;
   }
   WorkflowOptions options;
-  options.rasa.num_threads = threads;
-  options.cycles = argc > 3 ? std::atoi(argv[3]) : 6;
-  const double fail_prob = argc > 4 ? std::atof(argv[4]) : 0.0;
-  const long cordon_after = argc > 5 ? std::atol(argv[5]) : -1;
-  options.seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 99;
+  options.rasa.num_threads = config.threads;
+  options.cycles =
+      config.args.size() > 1 ? std::atoi(config.args[1].c_str()) : 6;
+  const double fail_prob =
+      config.args.size() > 2 ? std::atof(config.args[2].c_str()) : 0.0;
+  const long cordon_after =
+      config.args.size() > 3 ? std::atol(config.args[3].c_str()) : -1;
+  options.seed = config.args.size() > 4
+                     ? std::strtoull(config.args[4].c_str(), nullptr, 10)
+                     : 99;
   options.inject_faults = fail_prob > 0.0 || cordon_after >= 0;
   options.faults.command_failure_probability = fail_prob;
   options.faults.cordon_after_commands = cordon_after;
   options.faults.seed = options.seed + 1;
-  options.state_dir = state_dir;
-  options.resume = resume;
-  options.incremental = incremental;
+  options.state_dir = config.state_dir;
+  options.resume = config.resume;
+  options.incremental = config.incremental;
   // Per-cycle measurement noise re-randomizes every affinity weight, which
   // the snapshot differ reports as full drift; incremental mode only pays
   // off with exact measurement (see WorkflowOptions::incremental).
-  if (incremental) options.measurement_noise = 0.0;
+  if (config.incremental) options.measurement_noise = 0.0;
 
   // The simulated cluster cannot be queried after a crash, so a resumed run
   // reconstructs the placement a restarted controller would observe from
   // the durable state (checkpoint + committed journal batches).
   Placement initial = snapshot->original_placement;
-  if (resume) {
-    if (state_dir.empty()) {
-      std::fprintf(stderr, "workflow: --resume requires --state-dir\n");
-      return 2;
-    }
-    StatusOr<RecoveryAnalysis> analysis = AnalyzeWorkflowState(state_dir);
+  if (config.resume) {
+    StatusOr<RecoveryAnalysis> analysis =
+        AnalyzeWorkflowState(config.state_dir);
     if (!analysis.ok()) {
       std::fprintf(stderr, "workflow: recovery analysis failed: %s\n",
                    analysis.status().ToString().c_str());
@@ -427,14 +589,14 @@ int Workflow(int argc, char** argv, int threads,
   std::printf("final gained affinity: %.4f (feasible: %s)\n",
               GainedAffinity(*snapshot->cluster, report->final_placement),
               report->final_placement.CheckFeasible(true).ok() ? "yes" : "no");
-  if (!EmitObservability(metrics_out, trace, &*report)) return 1;
+  if (!EmitObservability(config, &*report)) return 1;
   return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
 }
 
 // Inspects a durable state directory without resuming anything.
-int Recover(int argc, char** argv) {
-  if (argc < 3) return Usage();
-  StatusOr<std::string> inspection = FormatRecoveryInspection(argv[2]);
+int Recover(const CliConfig& config) {
+  StatusOr<std::string> inspection =
+      FormatRecoveryInspection(config.args[0]);
   if (!inspection.ok()) {
     std::fprintf(stderr, "recover: %s\n",
                  inspection.status().ToString().c_str());
@@ -446,18 +608,18 @@ int Recover(int argc, char** argv) {
 
 // Runs the workflow with noise-free measurement and prints each cycle's
 // explain report (the human-readable form of the "report" JSON section).
-int Explain(int argc, char** argv, int threads,
-            const std::string& metrics_out, bool trace) {
-  if (argc < 3) return Usage();
-  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(argv[2]);
+int Explain(const CliConfig& config) {
+  StatusOr<ClusterSnapshot> snapshot = LoadSnapshotFromFile(config.args[0]);
   if (!snapshot.ok()) {
     std::fprintf(stderr, "load: %s\n", snapshot.status().ToString().c_str());
     return 1;
   }
   WorkflowOptions options;
-  options.rasa.num_threads = threads;
-  options.cycles = argc > 3 ? std::atoi(argv[3]) : 1;
-  options.rasa.timeout_seconds = argc > 4 ? std::atof(argv[4]) : 2.0;
+  options.rasa.num_threads = config.threads;
+  options.cycles =
+      config.args.size() > 1 ? std::atoi(config.args[1].c_str()) : 1;
+  options.rasa.timeout_seconds =
+      config.args.size() > 2 ? std::atof(config.args[2].c_str()) : 2.0;
   // Explain the real measured weights: reports should attribute the
   // pipeline, not the measurement noise.
   options.measurement_noise = 0.0;
@@ -488,34 +650,22 @@ int Explain(int argc, char** argv, int threads,
     }
     std::fputs(FormatExplainReport(cr.explain).c_str(), stdout);
   }
-  return EmitObservability(metrics_out, trace, &*report, nullptr, true) ? 0
-                                                                        : 1;
+  return EmitObservability(config, &*report, nullptr, true) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int threads = ExtractThreads(argc, argv);
-  const std::string metrics_out =
-      ExtractStringFlag(argc, argv, "--metrics-out");
-  const bool trace = ExtractBoolFlag(argc, argv, "--trace");
-  const std::string state_dir = ExtractStringFlag(argc, argv, "--state-dir");
-  const bool resume = ExtractBoolFlag(argc, argv, "--resume");
-  const bool incremental = ExtractBoolFlag(argc, argv, "--incremental");
-  if (trace) rasa::Tracer::Default().Enable(true);
-  if (argc < 2) return Usage();
-  if (std::strcmp(argv[1], "generate") == 0) return Generate(argc, argv);
-  if (std::strcmp(argv[1], "stats") == 0) return Stats(argc, argv);
-  if (std::strcmp(argv[1], "optimize") == 0) {
-    return Optimize(argc, argv, threads, metrics_out, trace);
-  }
-  if (std::strcmp(argv[1], "workflow") == 0) {
-    return Workflow(argc, argv, threads, metrics_out, trace, state_dir,
-                    resume, incremental);
-  }
-  if (std::strcmp(argv[1], "explain") == 0) {
-    return Explain(argc, argv, threads, metrics_out, trace);
-  }
-  if (std::strcmp(argv[1], "recover") == 0) return Recover(argc, argv);
-  return Usage();
+  CliConfig config;
+  const int parse_status = ParseCliConfig(argc, argv, config);
+  if (parse_status != 0) return parse_status;
+  if (config.trace) rasa::Tracer::Default().Enable(true);
+  if (config.command == "generate") return Generate(config);
+  if (config.command == "stats") return Stats(config);
+  if (config.command == "optimize") return Optimize(config);
+  if (config.command == "workflow") return Workflow(config);
+  if (config.command == "explain") return Explain(config);
+  if (config.command == "recover") return Recover(config);
+  // Unreachable: ParseCliConfig rejected unknown subcommands.
+  return HelpOverview();
 }

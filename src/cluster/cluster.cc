@@ -25,6 +25,10 @@ Cluster::Cluster(std::vector<std::string> resource_names,
     }
   }
   for (const Service& s : services_) total_containers_ += s.demand;
+  // A Cluster is shared read-only across solver threads: build the affinity
+  // graph's read-side index now so no concurrent reader ever races on the
+  // lazy rebuild.
+  affinity_.Finalize();
 }
 
 std::vector<int> Cluster::MachineSpecIds() const {

@@ -64,6 +64,27 @@ StatusOr<ClusterSnapshot> GenerateClusterOnce(const ClusterSpec& spec) {
     svc.request = {cpu, mem};
     svc.platform = 0;
   }
+  if (spec.exact_total_containers > 0) {
+    // Table II reproduction: nudge the heavy-tailed draws to the exact
+    // container total with +/-1 sweeps in service order. No RNG draws, so
+    // the rest of the generation stream is unchanged.
+    if (spec.exact_total_containers < spec.num_services) {
+      return InvalidArgumentError(
+          "exact_total_containers below one container per service");
+    }
+    int total = 0;
+    for (const Service& svc : services) total += svc.demand;
+    int delta = spec.exact_total_containers - total;
+    for (int s = 0; delta != 0; s = (s + 1) % spec.num_services) {
+      if (delta > 0) {
+        ++services[s].demand;
+        --delta;
+      } else if (services[s].demand > 1) {
+        --services[s].demand;
+        ++delta;
+      }
+    }
+  }
 
   // --- Affinity graph --------------------------------------------------------
   // A subset of services participates; edges are attached with power-law
@@ -136,15 +157,29 @@ StatusOr<ClusterSnapshot> GenerateClusterOnce(const ClusterSpec& spec) {
   // platform: small / medium / large around the average requirement.
   const double total_cpu = total_request_by_platform[0][0] +
                            total_request_by_platform[1][0];
-  std::vector<Machine> machines;
-  int next_spec_id = 0;
+  int platform_counts[2];
   for (int platform = 0; platform < 2; ++platform) {
     const double cpu_share =
         total_cpu > 0.0 ? total_request_by_platform[platform][0] / total_cpu
                         : (platform == 0 ? 1.0 : 0.0);
-    int count = std::max(
+    platform_counts[platform] = std::max(
         total_request_by_platform[platform][0] > 0.0 ? 1 : 0,
         static_cast<int>(std::lround(spec.num_machines * cpu_share)));
+  }
+  if (spec.exact_num_machines > 0) {
+    // Charge the per-platform rounding residual to the larger platform so
+    // the machine total matches Table II exactly.
+    const int residual =
+        spec.exact_num_machines - platform_counts[0] - platform_counts[1];
+    const int big = platform_counts[0] >= platform_counts[1] ? 0 : 1;
+    platform_counts[big] = std::max(1, platform_counts[big] + residual);
+  }
+  std::vector<Machine> machines;
+  machines.reserve(static_cast<size_t>(
+      std::max(0, platform_counts[0]) + std::max(0, platform_counts[1])));
+  int next_spec_id = 0;
+  for (int platform = 0; platform < 2; ++platform) {
+    const int count = platform_counts[platform];
     if (count == 0) continue;
     double per_machine[2];
     for (int r = 0; r < R; ++r) {
@@ -181,6 +216,8 @@ StatusOr<ClusterSnapshot> GenerateClusterOnce(const ClusterSpec& spec) {
   int machines_per_platform[2] = {0, 0};
   for (const Machine& m : machines) ++machines_per_platform[m.platform];
   std::vector<AntiAffinityRule> rules;
+  rules.reserve(static_cast<size_t>(spec.num_services) +
+                static_cast<size_t>(spec.num_services) / 50);
   for (int s = 0; s < spec.num_services; ++s) {
     if (services[s].demand < 2) continue;
     if (!rng.NextBool(spec.anti_affinity_probability)) continue;
@@ -241,6 +278,12 @@ ClusterSpec ScaledSpec(const char* name, int services, int containers,
       static_cast<double>(containers) / services;
   spec.affinity_beta = beta;
   spec.seed = seed;
+  if (scale == 1.0) {
+    // Full Table II size: pin the exact row totals (service count already
+    // lands exactly; containers and machines are nudged by the generator).
+    spec.exact_total_containers = containers;
+    spec.exact_num_machines = machines;
+  }
   return spec;
 }
 

@@ -37,6 +37,14 @@ struct ClusterSpec {
   /// rule limiting containers per machine.
   double anti_affinity_probability = 0.6;
   uint64_t seed = 1;
+  /// Exact-total gates for Table II reproduction. When > 0 the generator
+  /// deterministically nudges the sampled per-service demands (by +/-1
+  /// sweeps in service order) and charges the machine-count rounding
+  /// residual to the larger platform so the generated cluster hits these
+  /// totals exactly. The MxSpec helpers set them at scale factor 1 only;
+  /// scaled-down fixtures (scale > 1) generate byte-identically to before.
+  int exact_total_containers = 0;
+  int exact_num_machines = 0;
 };
 
 /// A generated cluster together with its ORIGINAL-scheduler placement —

@@ -1,0 +1,171 @@
+#ifndef RASA_COMMON_ARENA_H_
+#define RASA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace rasa {
+
+/// Monotonic chunked bump allocator for per-subproblem solve state (B&B
+/// node storage, pricing scratch, partitioner scratch). Allocation is a
+/// pointer bump; nothing is freed individually. Reset() destroys owned
+/// objects (reverse construction order), rewinds to the first chunk, and
+/// keeps that chunk's memory for reuse, so a solver that resets between
+/// rounds allocates from the OS once and then recycles.
+///
+/// Not thread-safe: each solve owns its arena. Objects created with New<T>
+/// have their destructors run at Reset()/~Arena; memory obtained through
+/// Allocate()/ArenaAllocator is raw and must only hold trivially
+/// destructible state (or state whose destructor the caller runs).
+class Arena {
+ public:
+  static constexpr size_t kDefaultChunkBytes = size_t{1} << 16;
+
+  explicit Arena(size_t min_chunk_bytes = kDefaultChunkBytes)
+      : min_chunk_bytes_(min_chunk_bytes < 64 ? 64 : min_chunk_bytes) {}
+  ~Arena() { Reset(); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned storage from the current chunk; grows by a fresh chunk
+  /// (doubling, capped) when the request does not fit.
+  void* Allocate(size_t bytes, size_t alignment) {
+    if (bytes == 0) bytes = 1;
+    if (!chunks_.empty()) {
+      Chunk& chunk = chunks_[active_];
+      const uintptr_t base =
+          reinterpret_cast<uintptr_t>(chunk.data.get()) + chunk.used;
+      const size_t padding = (alignment - base % alignment) % alignment;
+      if (chunk.used + padding + bytes <= chunk.size) {
+        chunk.used += padding + bytes;
+        bytes_used_ += padding + bytes;
+        return reinterpret_cast<void*>(base + padding);
+      }
+      // Later chunks survive a Reset with their capacity; reuse before
+      // growing.
+      if (active_ + 1 < chunks_.size()) {
+        ++active_;
+        chunks_[active_].used = 0;
+        return Allocate(bytes, alignment);
+      }
+    }
+    // New chunk: double the last size (geometric growth amortizes the
+    // vector of chunks), never smaller than the request + worst-case pad.
+    const size_t last = chunks_.empty() ? min_chunk_bytes_ / 2
+                                        : chunks_.back().size;
+    size_t size = last * 2;
+    if (size < bytes + alignment) size = bytes + alignment;
+    Chunk chunk;
+    chunk.data = std::make_unique<unsigned char[]>(size);
+    chunk.size = size;
+    chunk.used = 0;
+    chunks_.push_back(std::move(chunk));
+    active_ = chunks_.size() - 1;
+    return Allocate(bytes, alignment);
+  }
+
+  /// Constructs a T in the arena. Non-trivially-destructible types are
+  /// registered and destroyed on Reset() in reverse construction order.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    T* object = new (mem) T(std::forward<Args>(args)...);
+    if (!std::is_trivially_destructible_v<T>) {
+      owned_.push_back(
+          {object, [](void* p) { static_cast<T*>(p)->~T(); }});
+    }
+    return object;
+  }
+
+  /// Uninitialized array of a trivially destructible element type.
+  template <typename T>
+  T* NewArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "NewArray elements are never destroyed");
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Destroys owned objects (reverse construction order) and rewinds to
+  /// the first chunk. Chunk capacity is retained — a solver that resets
+  /// between rounds touches the OS allocator once, then recycles. Memory
+  /// is released only on destruction.
+  void Reset() {
+    for (auto it = owned_.rbegin(); it != owned_.rend(); ++it) {
+      it->destroy(it->object);
+    }
+    owned_.clear();
+    for (Chunk& chunk : chunks_) chunk.used = 0;
+    active_ = 0;
+    bytes_used_ = 0;
+  }
+
+  /// Total capacity currently held (all chunks).
+  size_t bytes_reserved() const {
+    size_t total = 0;
+    for (const Chunk& chunk : chunks_) total += chunk.size;
+    return total;
+  }
+  /// Bytes handed out since the last Reset (including alignment padding).
+  size_t bytes_used() const { return bytes_used_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+  struct Owned {
+    void* object;
+    void (*destroy)(void*);
+  };
+
+  size_t min_chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t active_ = 0;
+  size_t bytes_used_ = 0;
+  std::vector<Owned> owned_;
+};
+
+/// STL-compatible allocator over an Arena: containers bump-allocate and
+/// deallocate is a no-op (memory returns on Arena::Reset). The arena must
+/// outlive every container using it.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t count) {
+    return static_cast<T*>(arena_->Allocate(count * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ != b.arena_;
+  }
+
+ private:
+  Arena* arena_;
+};
+
+/// Shorthand for the common scratch-vector case.
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace rasa
+
+#endif  // RASA_COMMON_ARENA_H_

@@ -149,8 +149,8 @@ SnapshotDelta DiffSnapshot(const Cluster& cluster, const Placement& current,
 /// subproblem, whether the cached solution is reused verbatim or the
 /// subproblem is re-solved warm-started from `hint` (the prior incumbent =
 /// base placement + cached assignments). Built by RasaOptimizer::
-/// OptimizeIncremental from a SnapshotDelta; `cache` and `hint` must
-/// outlive the solve.
+/// the incremental Optimize path from a SnapshotDelta; `cache` and `hint`
+/// must outlive the solve.
 struct DeltaPlan {
   PartitionResult partition;
   /// Per subproblem (cache/partition index): skip the solvers, re-apply the

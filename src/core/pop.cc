@@ -1,0 +1,129 @@
+#include "core/pop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace rasa {
+
+bool ShouldUsePop(const PopOptions& options, const Subproblem& subproblem) {
+  return options.max_services > 0 &&
+         static_cast<int>(subproblem.services.size()) > options.max_services;
+}
+
+StatusOr<SubproblemSolution> RunPoolAlgorithmPop(
+    PoolAlgorithm algorithm, const Cluster& cluster,
+    const Subproblem& subproblem, const Placement& base,
+    const Placement& original, const Deadline& deadline, uint64_t seed,
+    const PopOptions& options, PoolAttemptStats* stats,
+    const Placement* mip_incumbent, PopStats* pop_stats) {
+  Stopwatch timer;
+  const int num_services = static_cast<int>(subproblem.services.size());
+  const int num_machines = static_cast<int>(subproblem.machines.size());
+  const int k = std::max(
+      2, std::min({options.num_replicas, num_services, num_machines}));
+  if (num_services < 2 || num_machines < 2 || k < 2) {
+    // Nothing to split; solve directly.
+    return RunPoolAlgorithm(algorithm, cluster, subproblem, base, original,
+                            deadline, seed, stats, mip_incumbent);
+  }
+
+  // Seeded split: shuffle, then deal round-robin. Services and machines use
+  // one stream drawn in a fixed order, so the split depends on `seed` alone.
+  Rng rng(seed);
+  std::vector<int> services = subproblem.services;
+  std::vector<int> machines = subproblem.machines;
+  rng.Shuffle(services);
+  rng.Shuffle(machines);
+  std::vector<uint64_t> replica_seeds(static_cast<size_t>(k));
+  for (int r = 0; r < k; ++r) replica_seeds[r] = rng.Next();
+
+  std::vector<Subproblem> replicas(static_cast<size_t>(k));
+  for (int i = 0; i < num_services; ++i) {
+    replicas[i % k].services.push_back(services[i]);
+  }
+  for (int j = 0; j < num_machines; ++j) {
+    replicas[j % k].machines.push_back(machines[j]);
+  }
+  double internal_sum = 0.0;
+  for (Subproblem& replica : replicas) {
+    // Canonical order within a replica, matching the partitioner's output
+    // shape (solvers index services/machines positionally either way, but
+    // sorted ids keep logs and caches comparable).
+    std::sort(replica.services.begin(), replica.services.end());
+    std::sort(replica.machines.begin(), replica.machines.end());
+    PopulateSubproblemEdges(cluster, replica);
+    internal_sum += replica.internal_affinity;
+  }
+  if (pop_stats != nullptr) {
+    pop_stats->replicas = k;
+    pop_stats->cut_affinity =
+        std::max(0.0, subproblem.internal_affinity - internal_sum);
+  }
+
+  // Solve replicas sequentially, splitting whatever wall-clock remains
+  // evenly across the replicas still to run.
+  SubproblemSolution combined;
+  for (int r = 0; r < k; ++r) {
+    const double remaining = deadline.RemainingSeconds();
+    const Deadline replica_deadline =
+        std::isfinite(remaining)
+            ? deadline.ClampedToSeconds(std::max(0.02, remaining / (k - r)))
+            : deadline;
+    PoolAttemptStats replica_stats;
+    StatusOr<SubproblemSolution> solved = RunPoolAlgorithm(
+        algorithm, cluster, replicas[r], base, original, replica_deadline,
+        replica_seeds[r], &replica_stats, mip_incumbent);
+    if (!solved.ok()) {
+      // One failed replica fails the attempt; the caller's degradation
+      // ladder (secondary algorithm, then greedy) takes over.
+      if (stats != nullptr) {
+        stats->algorithm = algorithm;
+        stats->seconds = timer.ElapsedSeconds();
+      }
+      return solved;
+    }
+    combined.assignments.insert(combined.assignments.end(),
+                                solved->assignments.begin(),
+                                solved->assignments.end());
+    combined.unplaced_containers += solved->unplaced_containers;
+  }
+
+  // Re-price the union over the FULL subproblem's edges: replicas only saw
+  // their own internal edges, but two services split apart may still land
+  // on one machine.
+  std::vector<int> local_service(cluster.num_services(), -1);
+  for (size_t i = 0; i < subproblem.services.size(); ++i) {
+    local_service[subproblem.services[i]] = static_cast<int>(i);
+  }
+  std::vector<int> local_machine(cluster.num_machines(), -1);
+  for (size_t j = 0; j < subproblem.machines.size(); ++j) {
+    local_machine[subproblem.machines[j]] = static_cast<int>(j);
+  }
+  std::vector<std::vector<int>> counts(
+      subproblem.services.size(),
+      std::vector<int>(subproblem.machines.size(), 0));
+  for (const SubproblemSolution::Assignment& a : combined.assignments) {
+    const int s = local_service[a.service];
+    const int m = local_machine[a.machine];
+    if (s >= 0 && m >= 0) counts[s][m] += a.count;
+  }
+  combined.gained_affinity =
+      SubproblemGainedAffinity(cluster, subproblem, counts);
+
+  if (stats != nullptr) {
+    // Aggregate timing only: deliberately no CG/MIP bound, because a
+    // replica-local bound does not bound the full subproblem. The
+    // certificate term therefore stays at the trivial bound.
+    stats->algorithm = algorithm;
+    stats->seconds = timer.ElapsedSeconds();
+    stats->has_cg = false;
+    stats->has_mip = false;
+  }
+  return combined;
+}
+
+}  // namespace rasa

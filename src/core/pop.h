@@ -1,0 +1,67 @@
+#ifndef RASA_CORE_POP_H_
+#define RASA_CORE_POP_H_
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "cluster/placement.h"
+#include "common/statusor.h"
+#include "common/timer.h"
+#include "core/algorithm_pool.h"
+#include "core/subproblem.h"
+
+namespace rasa {
+
+/// POP-style replica splitting for oversized subproblems (after Narayanan
+/// et al., "Solving Large-Scale Granular Resource Allocation Problems
+/// Efficiently with POP"). When the partitioner hands the pool a
+/// subproblem too large for the exact solvers to finish inside its budget
+/// slice, the subproblem is split into k random replicas — services dealt
+/// round-robin after a seeded shuffle, machines likewise — each replica is
+/// solved with the same pool algorithm, and the per-replica assignments
+/// are unioned. Affinity edges crossing replica boundaries are invisible
+/// to the replica solvers, so the union is a heuristic: its quality loss
+/// is surfaced against the optimality-gap certificate, whose term stays at
+/// the trivial bound (source "pop", never tightened).
+struct PopOptions {
+  /// Subproblems with strictly more services than this are split before
+  /// solving. 0 disables POP entirely (the default: the paper-scale tier-1
+  /// fixtures never trigger it, so their placements are unchanged).
+  int max_services = 0;
+  /// Number of replicas of the split (clamped to at least 2 and at most
+  /// the subproblem's service/machine counts).
+  int num_replicas = 2;
+};
+
+/// What one POP split did, surfaced per subproblem in SubproblemReport.
+struct PopStats {
+  /// Replicas the subproblem was actually split into (0 = POP not used).
+  int replicas = 0;
+  /// Total weight of affinity edges crossing replica boundaries: the
+  /// affinity the replica solvers could not see. An a-priori upper bound
+  /// on the quality this split gives up versus an exact solve.
+  double cut_affinity = 0.0;
+};
+
+/// True when `options` asks for a POP split of `subproblem`.
+bool ShouldUsePop(const PopOptions& options, const Subproblem& subproblem);
+
+/// Drop-in replacement for RunPoolAlgorithm that solves `subproblem` via a
+/// POP replica split. Deterministic for a fixed `seed`: the split and every
+/// replica solve derive from it alone. Replicas run sequentially in the
+/// caller's thread (the caller already occupies a worker slot; nesting
+/// into the pool could deadlock). `stats` receives aggregate timing only —
+/// never a CG/MIP bound, because replica-local bounds do not bound the
+/// full subproblem, keeping the certificate sound by construction. The
+/// returned solution's gained_affinity is re-priced over the *full*
+/// subproblem's edges, so cross-replica co-location luck is credited.
+StatusOr<SubproblemSolution> RunPoolAlgorithmPop(
+    PoolAlgorithm algorithm, const Cluster& cluster,
+    const Subproblem& subproblem, const Placement& base,
+    const Placement& original, const Deadline& deadline, uint64_t seed,
+    const PopOptions& options, PoolAttemptStats* stats = nullptr,
+    const Placement* mip_incumbent = nullptr, PopStats* pop_stats = nullptr);
+
+}  // namespace rasa
+
+#endif  // RASA_CORE_POP_H_

@@ -111,6 +111,12 @@ struct SolveRecord {
   // assembles the flight-recorder records.
   PoolAttemptStats primary_stats;
   PoolAttemptStats secondary_stats;
+  // POP replica splitting of an oversized subproblem: both rungs use the
+  // same split decision (a pure function of options and subproblem size,
+  // so the merge can replay it deterministically).
+  bool use_pop = false;
+  PopStats primary_pop;
+  PopStats secondary_pop;
 };
 
 // Translates a worker attempt into the ledger's SolveAttempt, using the
@@ -173,19 +179,13 @@ CertificateTerm MakeCertificateTerm(int subproblem_idx,
 }  // namespace
 
 StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
-                                             const Placement& current) const {
-  return Optimize(cluster, current, nullptr);
-}
-
-StatusOr<RasaResult> RasaOptimizer::Optimize(const Cluster& cluster,
                                              const Placement& current,
-                                             ThreadPool* pool) const {
-  return OptimizeWithPlan(cluster, current, pool, nullptr, nullptr);
-}
-
-StatusOr<RasaResult> RasaOptimizer::OptimizeIncremental(
-    const Cluster& cluster, const Placement& current, ThreadPool* pool,
-    IncrementalState* state) const {
+                                             const OptimizeContext& ctx) const {
+  if (ctx.incremental == nullptr) {
+    return OptimizeWithPlan(cluster, current, ctx.pool, nullptr, nullptr);
+  }
+  ThreadPool* pool = ctx.pool;
+  IncrementalState* state = ctx.incremental;
   Stopwatch diff_timer;
   SnapshotDelta delta = DiffSnapshot(cluster, current, *state, options_.delta);
 
@@ -428,6 +428,7 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
     rec.primary = selected[idx];
     rec.secondary = rec.primary == PoolAlgorithm::kCg ? PoolAlgorithm::kMip
                                                       : PoolAlgorithm::kCg;
+    rec.use_pop = ShouldUsePop(options_.pop, sp);
     const Deadline sp_deadline =
         ledger.Reserve(sp.internal_affinity, &rec.budget);
 
@@ -437,9 +438,16 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
       rec.primary_attempt.pruned = true;
     } else {
       rec.primary_attempt.result =
-          RunPoolAlgorithm(rec.primary, cluster, sp, partition.base_placement,
-                           warm_source, sp_deadline, primary_seed,
-                           &rec.primary_stats, mip_hint);
+          rec.use_pop
+              ? RunPoolAlgorithmPop(rec.primary, cluster, sp,
+                                    partition.base_placement, warm_source,
+                                    sp_deadline, primary_seed, options_.pop,
+                                    &rec.primary_stats, mip_hint,
+                                    &rec.primary_pop)
+              : RunPoolAlgorithm(rec.primary, cluster, sp,
+                                 partition.base_placement, warm_source,
+                                 sp_deadline, primary_seed,
+                                 &rec.primary_stats, mip_hint);
       if (!rec.primary_attempt.result->ok()) {
         mark_failed(rec.primary, position);
       }
@@ -456,10 +464,19 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
       } else if (advisory_breaker_open(rec.secondary, position)) {
         rec.secondary_attempt.pruned = true;
       } else {
-        rec.secondary_attempt.result = RunPoolAlgorithm(
-            rec.secondary, cluster, sp, partition.base_placement, warm_source,
-            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed, &rec.secondary_stats, mip_hint);
+        const Deadline secondary_deadline =
+            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget));
+        rec.secondary_attempt.result =
+            rec.use_pop
+                ? RunPoolAlgorithmPop(rec.secondary, cluster, sp,
+                                      partition.base_placement, warm_source,
+                                      secondary_deadline, rec.secondary_seed,
+                                      options_.pop, &rec.secondary_stats,
+                                      mip_hint, &rec.secondary_pop)
+                : RunPoolAlgorithm(rec.secondary, cluster, sp,
+                                   partition.base_placement, warm_source,
+                                   secondary_deadline, rec.secondary_seed,
+                                   &rec.secondary_stats, mip_hint);
         if (!rec.secondary_attempt.result->ok()) {
           mark_failed(rec.secondary, position);
         }
@@ -666,6 +683,7 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
     StatusOr<SubproblemSolution> repair =
         InternalError("secondary not attempted");
     PoolAttemptStats repair_stats;
+    PopStats repair_pop;
     if (solution == nullptr && options_.try_secondary_algorithm &&
         breaker_open(rec.secondary)) {
       lrec.secondary =
@@ -691,12 +709,22 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
         // discarded it (the breaker opened later in wall-clock, earlier in
         // canonical order). Solve the rung now, with the pre-assigned seed
         // and the same budget slice a sequential run would use.
-        repair = RunPoolAlgorithm(
-            rec.secondary, cluster, sp, partition.base_placement, warm_source,
-            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget)),
-            rec.secondary_seed, &repair_stats, mip_hint);
+        const Deadline repair_deadline =
+            deadline.ClampedToSeconds(std::max(0.02, 0.5 * rec.budget));
+        repair = rec.use_pop
+                     ? RunPoolAlgorithmPop(rec.secondary, cluster, sp,
+                                           partition.base_placement,
+                                           warm_source, repair_deadline,
+                                           rec.secondary_seed, options_.pop,
+                                           &repair_stats, mip_hint,
+                                           &repair_pop)
+                     : RunPoolAlgorithm(rec.secondary, cluster, sp,
+                                        partition.base_placement, warm_source,
+                                        repair_deadline, rec.secondary_seed,
+                                        &repair_stats, mip_hint);
         secondary = &repair;
         secondary_stats = &repair_stats;
+        rec.secondary_pop = repair_pop;
       }
       if (secondary != nullptr) {
         if (secondary->ok()) {
@@ -769,6 +797,20 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
       report.gained_affinity = solution->gained_affinity;
       report.unplaced_containers = solution->unplaced_containers;
     }
+    if (rec.use_pop && !report.failed) {
+      report.used_pop = true;
+      const PopStats& pop =
+          report.used_secondary ? rec.secondary_pop : rec.primary_pop;
+      report.pop_replicas = pop.replicas;
+      report.pop_cut_affinity = pop.cut_affinity;
+      // POP attempts never surface a CG/MIP bound, so the certificate term
+      // below stays at the trivial internal_affinity bound: the measured
+      // give-up of the split is simply bound - realized.
+      report.pop_quality_loss =
+          std::max(0.0, sp.internal_affinity - report.gained_affinity);
+      ++result.pop_splits;
+      result.pop_quality_loss += report.pop_quality_loss;
+    }
     result.subproblems.push_back(report);
 
     lrec.used_secondary = report.used_secondary;
@@ -780,9 +822,13 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
         report.failed ? nullptr
                       : (report.used_secondary ? &lrec.secondary
                                                : &lrec.primary);
-    const CertificateTerm term = MakeCertificateTerm(
+    CertificateTerm term = MakeCertificateTerm(
         idx, sp.internal_affinity, report.gained_affinity, sp_unplaced,
         winner);
+    // A POP union is a heuristic over an unseen edge cut — mark its term so
+    // gap consumers can attribute looseness to the split (the bound itself
+    // is already trivial because POP attempts carry no solver bound).
+    if (report.used_pop) term.source = "pop";
     lrec.certificate_bound = term.bound;
     lrec.bound_tightened = term.tightened;
 

@@ -11,6 +11,7 @@
 #include "core/explain.h"
 #include "core/migration.h"
 #include "core/partitioning.h"
+#include "core/pop.h"
 #include "core/selector.h"
 
 namespace rasa {
@@ -48,9 +49,15 @@ struct RasaOptions {
   /// DESIGN.md "Threading model").
   int num_threads = 1;
   uint64_t seed = 42;
-  /// Snapshot-differ thresholds of the incremental path (only read by
-  /// OptimizeIncremental; plain Optimize never consults them).
+  /// Snapshot-differ thresholds of the incremental path (only read when
+  /// OptimizeContext::incremental is set; cold solves never consult them).
   DeltaOptions delta;
+  /// POP replica splitting for oversized subproblems (see core/pop.h).
+  /// Disabled by default (`pop.max_services == 0`) so the paper-scale
+  /// pipeline and its certificates are byte-for-byte unchanged; the
+  /// full-scale bench turns it on to keep scale-factor-1 subproblems
+  /// inside their budget slices.
+  PopOptions pop;
 };
 
 /// Per-subproblem record for reporting and ablation benches.
@@ -65,6 +72,20 @@ struct SubproblemReport {
   bool failed = false;  // fell through the whole ladder to the greedy
   /// Rescued by the other pool algorithm after the selected one failed.
   bool used_secondary = false;
+  /// Solved via a POP replica split (RasaOptions::pop triggered on this
+  /// subproblem). The matching certificate term stays at the trivial bound
+  /// with source "pop".
+  bool used_pop = false;
+  /// Replicas of the POP split (0 when used_pop is false).
+  int pop_replicas = 0;
+  /// Affinity-edge weight crossing replica boundaries: what the replica
+  /// solvers could not see.
+  double pop_cut_affinity = 0.0;
+  /// Certificate-term bound minus realized affinity when POP was used: the
+  /// measured quality give-up of the split against the optimality-gap
+  /// certificate (the term is never tightened, so the bound is the trivial
+  /// internal_affinity).
+  double pop_quality_loss = 0.0;
 };
 
 struct RasaResult {
@@ -89,9 +110,13 @@ struct RasaResult {
   int secondary_successes = 0;  // rescued by the other pool algorithm
   int greedy_fallbacks = 0;     // bottom of the ladder
   int breaker_skips = 0;        // attempts skipped by an open breaker
+  int pop_splits = 0;           // subproblems solved via POP replica split
+  /// Sum of pop_quality_loss over POP-solved subproblems.
+  double pop_quality_loss = 0.0;
 
-  // Incremental-path accounting (OptimizeIncremental only; plain Optimize
-  // leaves the defaults: a full resolve with nothing reused).
+  // Incremental-path accounting (populated only when the call carried an
+  // OptimizeContext::incremental state; cold solves leave the defaults: a
+  // full resolve with nothing reused).
   /// True iff this run reused the cached partitioning (clean subproblems
   /// skipped the solvers entirely).
   bool incremental = false;
@@ -110,6 +135,37 @@ struct RasaResult {
   ExplainReport report;
 };
 
+/// Per-call execution context of RasaOptimizer::Optimize. Everything that
+/// varies call to call — as opposed to the immutable RasaOptions the
+/// optimizer was constructed with — lives here, so one entry point covers
+/// cold solves, pooled solves, and delta-aware re-optimization without an
+/// overload per combination.
+struct OptimizeContext {
+  OptimizeContext() = default;
+  explicit OptimizeContext(ThreadPool* p) : pool(p) {}
+  OptimizeContext(ThreadPool* p, IncrementalState* inc)
+      : pool(p), incremental(inc) {}
+
+  /// Worker pool for the per-subproblem solves and batch selector
+  /// inference. Callers that run many Optimize rounds — the workflow,
+  /// benches — reuse one pool instead of spawning workers per call. Null
+  /// falls back to `RasaOptions::num_threads` semantics (an owned pool is
+  /// spun up when the options ask for more than one thread).
+  ThreadPool* pool = nullptr;
+
+  /// Non-null selects the delta-aware incremental path (see DESIGN.md
+  /// "Incremental re-optimization"): the snapshot is diffed against the
+  /// state (the previous cycle's partitioning + solutions), only dirty
+  /// subproblems re-solve — warm-starting CG pattern generation and the
+  /// MIP incumbent from the prior placement — and cached solutions are
+  /// re-applied for clean ones. Falls back to a full resolve (identical to
+  /// a null state) when the state is invalid, the cluster structure
+  /// changed, or drift exceeds `RasaOptions::delta.full_resolve_fraction`.
+  /// On success the state is replaced with this run's partitioning +
+  /// solutions, ready for the next cycle; on error it is left untouched.
+  IncrementalState* incremental = nullptr;
+};
+
 /// The full RASA algorithm: multi-stage service partitioning, per-subproblem
 /// algorithm selection, independent solves, solution combination with a
 /// default-scheduler fallback for unplaced containers, and the migration
@@ -119,31 +175,12 @@ class RasaOptimizer {
   RasaOptimizer(RasaOptions options, AlgorithmSelector selector)
       : options_(std::move(options)), selector_(std::move(selector)) {}
 
-  StatusOr<RasaResult> Optimize(const Cluster& cluster,
-                                const Placement& current) const;
-
-  /// As above, but solves subproblems on `pool` (callers that run many
-  /// Optimize rounds — the workflow, benches — reuse one pool instead of
-  /// spawning workers per call). A null pool falls back to
-  /// `options().num_threads` semantics.
-  StatusOr<RasaResult> Optimize(const Cluster& cluster,
-                                const Placement& current,
-                                ThreadPool* pool) const;
-
-  /// Delta-aware re-optimization (see DESIGN.md "Incremental
-  /// re-optimization"): diffs the snapshot against `state` (the previous
-  /// cycle's partitioning + solutions), re-solves only dirty subproblems —
-  /// warm-starting CG pattern generation and the MIP incumbent from the
-  /// prior placement — and re-applies cached solutions for clean ones.
-  /// Falls back to a full resolve (identical to `Optimize`) when `state` is
-  /// invalid, the cluster structure changed, or drift exceeds
-  /// `options().delta.full_resolve_fraction`. On success `state` is
-  /// replaced with this run's partitioning + solutions, ready for the next
-  /// cycle; on error it is left untouched.
-  StatusOr<RasaResult> OptimizeIncremental(const Cluster& cluster,
-                                           const Placement& current,
-                                           ThreadPool* pool,
-                                           IncrementalState* state) const;
+  /// The single optimization entry point. The default context is a cold
+  /// full resolve; pass an OptimizeContext to solve on a shared pool
+  /// and/or to carry warm-start state across cycles.
+  StatusOr<RasaResult> Optimize(
+      const Cluster& cluster, const Placement& current,
+      const OptimizeContext& ctx = OptimizeContext()) const;
 
   const RasaOptions& options() const { return options_; }
 

@@ -8,48 +8,94 @@
 
 namespace rasa {
 
+AffinityGraph::AffinityGraph(int num_vertices) : num_vertices_(num_vertices) {
+  if (dense_backend()) adjacency_.resize(num_vertices);
+}
+
 Status AffinityGraph::AddEdge(int u, int v, double weight) {
   if (u == v) {
     return InvalidArgumentError(StrFormat("self-loop on vertex %d", u));
   }
-  if (u < 0 || u >= num_vertices() || v < 0 || v >= num_vertices()) {
+  if (u < 0 || u >= num_vertices_ || v < 0 || v >= num_vertices_) {
     return InvalidArgumentError(StrFormat("edge {%d, %d} out of range", u, v));
   }
   if (!(weight > 0.0)) {
     return InvalidArgumentError(
         StrFormat("edge {%d, %d} has non-positive weight %g", u, v, weight));
   }
-  for (auto& [nbr, w] : adjacency_[u]) {
-    if (nbr == v) {
-      w += weight;
-      for (auto& [nbr2, w2] : adjacency_[v]) {
-        if (nbr2 == u) w2 += weight;
+  const int lo = std::min(u, v);
+  const int hi = std::max(u, v);
+  const auto [it, inserted] =
+      edge_index_.try_emplace(EdgeKey(lo, hi), static_cast<int>(edges_.size()));
+  if (!inserted) {
+    edges_[it->second].weight += weight;
+    if (dense_backend()) {
+      for (auto& [nbr, w] : adjacency_[u]) {
+        if (nbr == v) w += weight;
       }
-      for (AffinityEdge& e : edges_) {
-        if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
-          e.weight += weight;
-          break;
-        }
+      for (auto& [nbr, w] : adjacency_[v]) {
+        if (nbr == u) w += weight;
       }
-      return Status::OK();
+    } else {
+      csr_valid_ = false;
     }
+    return Status::OK();
   }
-  edges_.push_back({std::min(u, v), std::max(u, v), weight});
-  adjacency_[u].push_back({v, weight});
-  adjacency_[v].push_back({u, weight});
+  edges_.push_back({lo, hi, weight});
+  if (dense_backend()) {
+    adjacency_[u].push_back({v, weight});
+    adjacency_[v].push_back({u, weight});
+  } else {
+    csr_valid_ = false;
+  }
   return Status::OK();
 }
 
-double AffinityGraph::EdgeWeight(int u, int v) const {
-  for (const auto& [nbr, w] : adjacency_[u]) {
-    if (nbr == v) return w;
+void AffinityGraph::EnsureReadable() const {
+  if (dense_backend() || csr_valid_) return;
+  // Stable counting pass over edges_ in insertion order: each edge appends
+  // both directions, exactly reproducing the push_back order of the dense
+  // backend (and of the pre-CSR implementation).
+  csr_offsets_.assign(num_vertices_ + 1, 0);
+  for (const AffinityEdge& e : edges_) {
+    ++csr_offsets_[e.u + 1];
+    ++csr_offsets_[e.v + 1];
   }
-  return 0.0;
+  for (int v = 0; v < num_vertices_; ++v) {
+    csr_offsets_[v + 1] += csr_offsets_[v];
+  }
+  csr_entries_.resize(edges_.size() * 2);
+  std::vector<int> cursor(csr_offsets_.begin(), csr_offsets_.end() - 1);
+  for (const AffinityEdge& e : edges_) {
+    csr_entries_[cursor[e.u]++] = {e.v, e.weight};
+    csr_entries_[cursor[e.v]++] = {e.u, e.weight};
+  }
+  csr_valid_ = true;
+}
+
+AffinityGraph::NeighborSpan AffinityGraph::Neighbors(int v) const {
+  if (dense_backend()) {
+    const auto& nbrs = adjacency_[v];
+    return NeighborSpan(nbrs.data(), nbrs.size());
+  }
+  EnsureReadable();
+  const int begin = csr_offsets_[v];
+  return NeighborSpan(csr_entries_.data() + begin,
+                      static_cast<size_t>(csr_offsets_[v + 1] - begin));
+}
+
+int AffinityGraph::Degree(int v) const {
+  if (dense_backend()) return static_cast<int>(adjacency_[v].size());
+  EnsureReadable();
+  return csr_offsets_[v + 1] - csr_offsets_[v];
 }
 
 double AffinityGraph::TotalAffinityOf(int v) const {
   double total = 0.0;
-  for (const auto& [nbr, w] : adjacency_[v]) total += w;
+  for (const auto& [nbr, w] : Neighbors(v)) {
+    (void)nbr;
+    total += w;
+  }
   return total;
 }
 
@@ -67,11 +113,14 @@ void AffinityGraph::NormalizeWeights() {
   for (auto& nbrs : adjacency_) {
     for (auto& [nbr, w] : nbrs) w *= inv;
   }
+  if (csr_valid_) {
+    for (auto& [nbr, w] : csr_entries_) w *= inv;
+  }
 }
 
 AffinityGraph AffinityGraph::InducedSubgraph(
     const std::vector<int>& vertices) const {
-  std::vector<int> new_id(num_vertices(), -1);
+  std::vector<int> new_id(num_vertices_, -1);
   for (size_t i = 0; i < vertices.size(); ++i) {
     new_id[vertices[i]] = static_cast<int>(i);
   }
@@ -88,17 +137,17 @@ AffinityGraph AffinityGraph::InducedSubgraph(
 
 std::vector<int> AffinityGraph::ConnectedComponents(
     int* num_components) const {
-  std::vector<int> component(num_vertices(), -1);
+  std::vector<int> component(num_vertices_, -1);
   int count = 0;
   std::deque<int> queue;
-  for (int start = 0; start < num_vertices(); ++start) {
+  for (int start = 0; start < num_vertices_; ++start) {
     if (component[start] >= 0) continue;
     component[start] = count;
     queue.push_back(start);
     while (!queue.empty()) {
       const int v = queue.front();
       queue.pop_front();
-      for (const auto& [nbr, w] : adjacency_[v]) {
+      for (const auto& [nbr, w] : Neighbors(v)) {
         (void)w;
         if (component[nbr] < 0) {
           component[nbr] = count;
@@ -155,6 +204,7 @@ AffinityGraph GeneratePowerLawGraph(int num_vertices, int num_edges,
   };
 
   std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(num_edges);
   std::vector<std::vector<int>> adjacency(num_vertices);
   auto has_pair = [&](int u, int v) {
     for (int nbr : adjacency[u]) {

@@ -1,6 +1,10 @@
 #ifndef RASA_GRAPH_AFFINITY_GRAPH_H_
 #define RASA_GRAPH_AFFINITY_GRAPH_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -18,28 +22,57 @@ struct AffinityEdge {
 /// Weighted undirected graph over services (paper §II-B). Vertices are dense
 /// ids [0, num_vertices). Parallel edges are merged by accumulating weight;
 /// self-loops are rejected (a service has no affinity with itself).
+///
+/// Reads go through the span-based view API (`Neighbors`, `edges`); there is
+/// no random-access weight lookup in the public interface. Two storage
+/// backends live behind the same API: small graphs keep per-vertex adjacency
+/// vectors (mutation-friendly, updated on every AddEdge), large graphs use a
+/// CSR index over the edge list rebuilt lazily on first read after a
+/// mutation. Neighbor order is the edge first-insertion order in both
+/// backends, so iteration — and everything derived from it — is
+/// bit-identical regardless of which backend serves a graph.
 class AffinityGraph {
  public:
-  AffinityGraph() = default;
-  explicit AffinityGraph(int num_vertices) : adjacency_(num_vertices) {}
+  using NeighborEntry = std::pair<int, double>;
 
-  int num_vertices() const { return static_cast<int>(adjacency_.size()); }
+  /// Read-only view of one vertex's (neighbor, weight) list. Points into
+  /// the graph's backing storage: valid until the next mutating call.
+  class NeighborSpan {
+   public:
+    NeighborSpan() = default;
+    NeighborSpan(const NeighborEntry* data, size_t size)
+        : data_(data), size_(size) {}
+
+    const NeighborEntry* begin() const { return data_; }
+    const NeighborEntry* end() const { return data_ + size_; }
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    const NeighborEntry& operator[](size_t i) const { return data_[i]; }
+
+   private:
+    const NeighborEntry* data_ = nullptr;
+    size_t size_ = 0;
+  };
+
+  AffinityGraph() = default;
+  explicit AffinityGraph(int num_vertices);
+
+  int num_vertices() const { return num_vertices_; }
   int num_edges() const { return static_cast<int>(edges_.size()); }
 
   /// Adds (or accumulates onto) edge {u, v}. Weight must be positive.
+  /// O(1) amortized via the edge hash index (duplicate edges no longer
+  /// rescan the edge list, which made bulk loading quadratic).
   Status AddEdge(int u, int v, double weight);
 
+  /// All edges in first-insertion order (duplicates merged in place).
   const std::vector<AffinityEdge>& edges() const { return edges_; }
 
-  /// Neighbors of `v` as (neighbor, weight) pairs.
-  const std::vector<std::pair<int, double>>& Neighbors(int v) const {
-    return adjacency_[v];
-  }
+  /// Neighbors of `v` as a contiguous (neighbor, weight) span, in edge
+  /// first-insertion order.
+  NeighborSpan Neighbors(int v) const;
 
-  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
-
-  /// Weight of edge {u, v}, or 0 if absent.
-  double EdgeWeight(int u, int v) const;
+  int Degree(int v) const;
 
   /// T(s): sum of incident edge weights (paper §IV-B2).
   double TotalAffinityOf(int v) const;
@@ -60,9 +93,43 @@ class AffinityGraph {
   /// Total weight of edges whose endpoints are in different parts.
   double CutWeight(const std::vector<int>& part_of_vertex) const;
 
+  /// Builds the read-side index now (idempotent). Reads finalize lazily,
+  /// which is fine single-threaded; call this once before sharing a graph
+  /// across threads so concurrent readers never race on the rebuild
+  /// (Cluster's constructor does).
+  void Finalize() const { EnsureReadable(); }
+
  private:
+  /// Vertex-count ceiling of the adjacency-vector backend. Mirrors
+  /// LpOptions::dense_size_cutoff: below it per-vertex vectors are cheap
+  /// and mutation-friendly; above it one CSR block avoids the per-vertex
+  /// allocations and O(n) vector headers.
+  static constexpr int kDenseBackendMaxVertices = 64;
+
+  bool dense_backend() const {
+    return num_vertices_ <= kDenseBackendMaxVertices;
+  }
+  static uint64_t EdgeKey(int u, int v) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(u)) << 32) |
+           static_cast<uint32_t>(v);
+  }
+  /// Rebuilds the CSR index from `edges_` if a mutation invalidated it.
+  void EnsureReadable() const;
+
+  int num_vertices_ = 0;
   std::vector<AffinityEdge> edges_;
-  std::vector<std::vector<std::pair<int, double>>> adjacency_;
+  /// {min(u,v), max(u,v)} -> index into edges_, for O(1) duplicate merge.
+  std::unordered_map<uint64_t, int> edge_index_;
+
+  // Dense backend: per-vertex neighbor vectors, maintained on AddEdge.
+  std::vector<std::vector<NeighborEntry>> adjacency_;
+
+  // CSR backend: one offsets array + one entries block, rebuilt lazily.
+  // A stable counting pass over edges_ reproduces the insertion order the
+  // dense backend gets from push_back, so both backends iterate alike.
+  mutable std::vector<int> csr_offsets_;
+  mutable std::vector<NeighborEntry> csr_entries_;
+  mutable bool csr_valid_ = false;
 };
 
 /// Generates a graph with power-law total-affinity skew (Assumption 4.1):

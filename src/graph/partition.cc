@@ -94,13 +94,17 @@ Partition LossMinBalancedPartition(const AffinityGraph& graph, int h,
       1, static_cast<int>(balance_factor * (n + h - 1) / h) + 1);
   const std::vector<int> ceilings(h, ceiling);
 
+  Arena scratch;
   for (int t = 0; t < trials; ++t) {
+    scratch.Reset();
     const std::vector<int> seeds = rng.SampleWithoutReplacement(n, h);
     Partition candidate = MultiSourceBfsPartition(graph, seeds);
     // Loss-minimization: a few Kernighan-Lin sweeps pull boundary services
     // back toward their heaviest neighborhood without breaking balance.
     for (int pass = 0; pass < 3; ++pass) {
-      if (RefinePartitionKl(graph, candidate, ceilings) <= 0.0) break;
+      if (RefinePartitionKl(graph, candidate, ceilings, &scratch) <= 0.0) {
+        break;
+      }
     }
     const double balance = candidate.BalanceRatio();
     const double cut = graph.CutWeight(candidate.part_of);
@@ -139,20 +143,32 @@ Partition RandomPartition(const AffinityGraph& graph, int k, Rng& rng) {
 }
 
 double RefinePartitionKl(const AffinityGraph& graph, Partition& partition,
-                         const std::vector<int>& max_part_size) {
+                         const std::vector<int>& max_part_size,
+                         Arena* scratch) {
   const int n = graph.num_vertices();
   const int k = partition.num_parts;
   std::vector<int> sizes = partition.PartSizes();
   double total_gain = 0.0;
+
+  // Link scratch hoisted out of the vertex loop: entries are zeroed via the
+  // touched list after each vertex instead of reallocating k doubles per
+  // vertex. An arena-backed pass recycles the buffers across sweeps.
+  Arena local;
+  Arena& arena = scratch != nullptr ? *scratch : local;
+  ArenaVector<double> link(static_cast<size_t>(k), 0.0,
+                           ArenaAllocator<double>(&arena));
+  ArenaVector<int> touched{ArenaAllocator<int>(&arena)};
+  touched.reserve(static_cast<size_t>(k));
 
   // Greedy single-vertex moves to the best neighboring part; one sweep.
   for (int v = 0; v < n; ++v) {
     const int from = partition.part_of[v];
     if (sizes[from] <= 1) continue;  // never empty a part
     // Weight of v's edges into each adjacent part.
-    std::vector<double> link(k, 0.0);
     for (const auto& [nbr, w] : graph.Neighbors(v)) {
-      link[partition.part_of[nbr]] += w;
+      const int p = partition.part_of[nbr];
+      if (link[p] == 0.0) touched.push_back(p);
+      link[p] += w;
     }
     int best_part = from;
     double best_gain = 1e-12;  // strictly positive gains only
@@ -165,6 +181,8 @@ double RefinePartitionKl(const AffinityGraph& graph, Partition& partition,
         best_part = p;
       }
     }
+    for (int p : touched) link[p] = 0.0;
+    touched.clear();
     if (best_part != from) {
       partition.part_of[v] = best_part;
       --sizes[from];
@@ -292,8 +310,10 @@ Partition KahipLikePartition(const AffinityGraph& graph, int k, Rng& rng,
   }
 
   std::vector<int> ceilings(k, ceiling);
+  Arena scratch;
   for (int pass = 0; pass < refinement_passes; ++pass) {
-    if (RefinePartitionKl(graph, partition, ceilings) <= 0.0) break;
+    scratch.Reset();
+    if (RefinePartitionKl(graph, partition, ceilings, &scratch) <= 0.0) break;
   }
   return partition;
 }

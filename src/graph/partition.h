@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/arena.h"
 #include "common/rng.h"
 #include "graph/affinity_graph.h"
 
@@ -52,9 +53,12 @@ Partition KahipLikePartition(const AffinityGraph& graph, int k, Rng& rng,
 /// One pass of Kernighan-Lin boundary refinement on an existing partition:
 /// greedily moves boundary vertices to the neighboring part with maximum
 /// cut-weight gain while respecting part-size ceilings. Returns the total
-/// gain achieved.
+/// gain achieved. `scratch` (optional) backs the per-pass link scratch so
+/// repeated sweeps — LossMinBalancedPartition runs trials x passes of them
+/// — recycle one allocation instead of hitting the heap per pass.
 double RefinePartitionKl(const AffinityGraph& graph, Partition& partition,
-                         const std::vector<int>& max_part_size);
+                         const std::vector<int>& max_part_size,
+                         Arena* scratch = nullptr);
 
 }  // namespace rasa
 

@@ -5,6 +5,91 @@
 
 namespace rasa {
 
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
+                                  const std::vector<int>& row_ids,
+                                  const std::vector<int>& col_ids,
+                                  const std::vector<double>& values) {
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  // Counting pass, then a per-row sort by column id; duplicates merge by
+  // summation during the compaction sweep.
+  m.row_offsets_.assign(rows + 1, 0);
+  for (int r : row_ids) ++m.row_offsets_[r + 1];
+  for (int r = 0; r < rows; ++r) m.row_offsets_[r + 1] += m.row_offsets_[r];
+  std::vector<int> cursor(m.row_offsets_.begin(), m.row_offsets_.end() - 1);
+  m.col_index_.resize(values.size());
+  m.values_.resize(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const int at = cursor[row_ids[i]]++;
+    m.col_index_[at] = col_ids[i];
+    m.values_[at] = values[i];
+  }
+  size_t out = 0;
+  std::vector<std::pair<int, double>> row;
+  std::vector<int> new_offsets(rows + 1, 0);
+  for (int r = 0; r < rows; ++r) {
+    row.clear();
+    for (int i = m.row_offsets_[r]; i < m.row_offsets_[r + 1]; ++i) {
+      row.push_back({m.col_index_[i], m.values_[i]});
+    }
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (out > static_cast<size_t>(new_offsets[r]) && i > 0 &&
+          m.col_index_[out - 1] == row[i].first) {
+        m.values_[out - 1] += row[i].second;
+      } else {
+        m.col_index_[out] = row[i].first;
+        m.values_[out] = row[i].second;
+        ++out;
+      }
+    }
+    new_offsets[r + 1] = static_cast<int>(out);
+  }
+  m.row_offsets_ = std::move(new_offsets);
+  m.col_index_.resize(out);
+  m.values_.resize(out);
+  return m;
+}
+
+double CsrMatrix::At(int r, int c) const {
+  const int begin = row_offsets_[r];
+  const int end = row_offsets_[r + 1];
+  const auto it = std::lower_bound(col_index_.begin() + begin,
+                                   col_index_.begin() + end, c);
+  if (it != col_index_.begin() + end && *it == c) {
+    return values_[it - col_index_.begin()];
+  }
+  return 0.0;
+}
+
+Matrix CsrMatrix::MatMul(const Matrix& dense) const {
+  assert(cols_ == dense.rows());
+  const int n = dense.cols();
+  Matrix out(rows_, n);
+  for (int i = 0; i < rows_; ++i) {
+    double* o_row = out.data() + static_cast<size_t>(i) * n;
+    for (int t = row_offsets_[i]; t < row_offsets_[i + 1]; ++t) {
+      const double a = values_[t];
+      const double* b_row =
+          dense.data() + static_cast<size_t>(col_index_[t]) * n;
+      for (int j = 0; j < n; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int t = row_offsets_[r]; t < row_offsets_[r + 1]; ++t) {
+      out(r, col_index_[t]) = values_[t];
+    }
+  }
+  return out;
+}
+
 bool BasisFactorization::Refactorize(
     int m, const std::vector<SparseColumnView>& basis_columns) {
   m_ = m;

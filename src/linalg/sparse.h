@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "linalg/matrix.h"
+
 namespace rasa {
 
 /// One nonzero of a sparse column or vector: the row index and the value.
@@ -20,6 +22,46 @@ struct SparseColumnView {
 
   const SparseEntry* begin() const { return data; }
   const SparseEntry* end() const { return data + size; }
+};
+
+/// Compressed-sparse-row matrix of doubles with per-row column indices in
+/// strictly ascending order. Built for the GCN's normalized adjacency: the
+/// dense kernels accumulate every output cell in ascending-k order and skip
+/// exact zeros, so SpMM over an ascending-sorted CSR produces bit-identical
+/// results while storing O(nnz) instead of O(n^2).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// From triplets (duplicates summed); rows get sorted by column id.
+  static CsrMatrix FromTriplets(int rows, int cols,
+                                const std::vector<int>& row_ids,
+                                const std::vector<int>& col_ids,
+                                const std::vector<double>& values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Entry (r, c) by binary search over the row, 0 when absent. O(log deg);
+  /// for tests and spot checks, not for kernels.
+  double At(int r, int c) const;
+
+  /// this * dense. Requires cols() == dense.rows(). Row-blocked
+  /// SpMM: for each row, each stored nonzero streams a contiguous axpy over
+  /// the dense row — ascending-k accumulation per output cell, bit-identical
+  /// to Matrix::MatMul on the dense equivalent.
+  Matrix MatMul(const Matrix& dense) const;
+
+  /// Dense copy (tests / debugging).
+  Matrix ToDense() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_offsets_;  // size rows_ + 1
+  std::vector<int> col_index_;    // ascending within each row
+  std::vector<double> values_;
 };
 
 /// Basis "factorization" in product form (eta file): the inverse of the

@@ -399,16 +399,25 @@ int RevisedSimplex::Price(const std::vector<double>& costs,
     int entering = -1;
     double best_violation = tol;
     const int block = std::min(kPricingBlock, n_price - scanned);
-    for (int t = 0; t < block; ++t) {
-      const int j = (pricing_cursor_ + t) % n_price;
-      double dj = 0.0;
-      const double v = violation_of(j, &dj);
-      if (v > best_violation) {
-        best_violation = v;
-        entering = j;
-        *dir = dj;
+    // The modular window [cursor, cursor + block) decomposed into at most
+    // two contiguous segments: the same columns in the same order as the
+    // per-element modular walk (so the chosen entering column is
+    // bit-identical), but the inner loop streams linearly through the
+    // state/cost/column arrays instead of paying a div per element.
+    auto scan_segment = [&](int begin, int end) {
+      for (int j = begin; j < end; ++j) {
+        double dj = 0.0;
+        const double v = violation_of(j, &dj);
+        if (v > best_violation) {
+          best_violation = v;
+          entering = j;
+          *dir = dj;
+        }
       }
-    }
+    };
+    const int first = std::min(block, n_price - pricing_cursor_);
+    scan_segment(pricing_cursor_, pricing_cursor_ + first);
+    scan_segment(0, block - first);
     pricing_cursor_ = (pricing_cursor_ + block) % n_price;
     scanned += block;
     if (entering >= 0) return entering;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <queue>
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace rasa {
@@ -43,6 +44,10 @@ struct BoundChange {
   double upper;
 };
 
+// Nodes live in the solver's arena: the open queue holds raw pointers, no
+// per-node heap traffic or control blocks, and everything is reclaimed in
+// one sweep when the solve ends (the node count is bounded by max_nodes,
+// so holding explored nodes to the end costs a few MB at worst).
 struct Node {
   // Bound tightenings along the path from the root.
   std::vector<BoundChange> changes;
@@ -92,6 +97,7 @@ class BranchAndBound {
   int max_node_pivots_ = 0;
   int refactorizations_ = 0;
   int max_eta_length_ = 0;
+  Arena arena_;  // owns every Node of this solve
 };
 
 bool BranchAndBound::IsIntegral(const std::vector<double>& x,
@@ -241,18 +247,15 @@ MipResult BranchAndBound::Solve() {
                             : 40 * model_.num_integer_variables() + 2000;
 
   // Best-bound first: explore the node with the most promising parent bound.
-  auto cmp = [this](const std::shared_ptr<Node>& a,
-                    const std::shared_ptr<Node>& b) {
+  auto cmp = [this](const Node* a, const Node* b) {
     if (Score(a->bound) != Score(b->bound)) {
       return Score(a->bound) < Score(b->bound);
     }
     return a->depth < b->depth;  // deeper first on ties -> finds leaves
   };
-  std::priority_queue<std::shared_ptr<Node>,
-                      std::vector<std::shared_ptr<Node>>, decltype(cmp)>
-      open(cmp);
+  std::priority_queue<Node*, std::vector<Node*>, decltype(cmp)> open(cmp);
 
-  auto root = std::make_shared<Node>();
+  Node* root = arena_.New<Node>();
   root->bound = maximize_ ? kInf : -kInf;
   open.push(root);
 
@@ -265,7 +268,7 @@ MipResult BranchAndBound::Solve() {
       stopped_early = true;
       break;
     }
-    std::shared_ptr<Node> node = open.top();
+    Node* node = open.top();
     open.pop();
     best_open_bound = node->bound;
 
@@ -346,13 +349,13 @@ MipResult BranchAndBound::Solve() {
     if (options_.warm_start_nodes && !node_basis.empty()) {
       child_basis = std::make_shared<const LpBasis>(std::move(node_basis));
     }
-    auto down = std::make_shared<Node>();
+    Node* down = arena_.New<Node>();
     down->changes = node->changes;
     down->changes.push_back({branch_var, -kInf, std::floor(value)});
     down->bound = node_bound;
     down->depth = node->depth + 1;
     down->parent_basis = child_basis;
-    auto up = std::make_shared<Node>();
+    Node* up = arena_.New<Node>();
     up->changes = node->changes;
     up->changes.push_back({branch_var, std::ceil(value), kInf});
     up->bound = node_bound;

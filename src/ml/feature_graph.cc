@@ -1,5 +1,6 @@
 #include "ml/feature_graph.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
@@ -9,26 +10,45 @@ namespace rasa {
 FeatureGraph MakeFeatureGraph(const AffinityGraph& graph, Matrix features) {
   const int n = graph.num_vertices();
   RASA_CHECK(features.rows() == n);
-  Matrix adj(n, n);
-  for (const AffinityEdge& e : graph.edges()) {
-    adj(e.u, e.v) = e.weight;
-    adj(e.v, e.u) = e.weight;
-  }
-  for (int i = 0; i < n; ++i) adj(i, i) += 1.0;  // self-loops
-  // Symmetric normalization.
+  // Row nonzeros = neighbors + the unit self-loop, sorted by column id.
+  // Ascending-column order matters: the dense kernels accumulated every sum
+  // in ascending-j order with exact zeros contributing +0.0, so the sparse
+  // build is bit-identical only if it visits the same nonzeros in the same
+  // order.
+  std::vector<std::vector<std::pair<int, double>>> rows(n);
   std::vector<double> inv_sqrt_deg(n, 0.0);
   for (int i = 0; i < n; ++i) {
+    auto& row = rows[i];
+    const auto nbrs = graph.Neighbors(i);
+    row.reserve(nbrs.size() + 1);
+    for (const auto& [j, w] : nbrs) row.push_back({j, w});
+    row.push_back({i, 1.0});  // self-loop
+    std::sort(row.begin(), row.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
     double deg = 0.0;
-    for (int j = 0; j < n; ++j) deg += adj(i, j);
+    for (const auto& [j, w] : row) {
+      (void)j;
+      deg += w;
+    }
     inv_sqrt_deg[i] = deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
   }
+  std::vector<int> row_ids;
+  std::vector<int> col_ids;
+  std::vector<double> values;
+  size_t nnz = 0;
+  for (const auto& row : rows) nnz += row.size();
+  row_ids.reserve(nnz);
+  col_ids.reserve(nnz);
+  values.reserve(nnz);
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      adj(i, j) *= inv_sqrt_deg[i] * inv_sqrt_deg[j];
+    for (const auto& [j, w] : rows[i]) {
+      row_ids.push_back(i);
+      col_ids.push_back(j);
+      values.push_back(w * (inv_sqrt_deg[i] * inv_sqrt_deg[j]));
     }
   }
   FeatureGraph fg;
-  fg.a_hat = std::move(adj);
+  fg.a_hat = CsrMatrix::FromTriplets(n, n, row_ids, col_ids, values);
   fg.features = std::move(features);
   return fg;
 }

@@ -3,14 +3,17 @@
 
 #include "graph/affinity_graph.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace rasa {
 
 /// The classifier input of Definition 2: a graph with per-vertex features.
 /// `a_hat` is the symmetrically normalized adjacency with self-loops,
-/// D^{-1/2} (A + I) D^{-1/2}; `features` is n x f.
+/// D^{-1/2} (A + I) D^{-1/2}, stored sparse (CSR, ascending columns): the
+/// GCN layers cost O(nnz * f) instead of O(n^2 * f) and the storage no
+/// longer squares with the subproblem size. `features` is n x f.
 struct FeatureGraph {
-  Matrix a_hat;
+  CsrMatrix a_hat;
   Matrix features;
 
   int num_vertices() const { return features.rows(); }

@@ -377,13 +377,9 @@ Status WorkflowRunner::RunCycleNormal(int cycle) {
     if (options_.inject_faults && injector_.DrawOptimizerFailure()) {
       return InternalError("injected optimizer failure");
     }
-    if (options_.incremental) {
-      return optimizer.OptimizeIncremental(*state.measured_cluster,
-                                           state.placement, solver_pool_.get(),
-                                           &inc_state_);
-    }
-    return optimizer.Optimize(*state.measured_cluster, state.placement,
-                              solver_pool_.get());
+    const OptimizeContext ctx(solver_pool_.get(),
+                              options_.incremental ? &inc_state_ : nullptr);
+    return optimizer.Optimize(*state.measured_cluster, state.placement, ctx);
   }();
   DryReason dry_reason = DryReason::kBelowThreshold;
   if (!optimized.ok()) {

@@ -72,7 +72,7 @@ struct WorkflowOptions {
   /// interrupted cycle. Requires a non-empty `state_dir`.
   bool resume = false;
   /// Delta-aware re-optimization (off by default): cycles after the first
-  /// call RasaOptimizer::OptimizeIncremental, re-solving only the
+  /// call Optimize with a carried IncrementalState, re-solving only the
   /// subproblems the snapshot differ marks dirty and re-applying the prior
   /// cycle's solutions for the rest (see DESIGN.md "Incremental
   /// re-optimization"). The delta state is journaled and checkpointed, so

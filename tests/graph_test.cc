@@ -19,13 +19,21 @@ AffinityGraph Triangle() {
   return g;
 }
 
+// The view API dropped random-access weight lookup; tests scan the span.
+double EdgeWeightOf(const AffinityGraph& g, int u, int v) {
+  for (const auto& [nbr, w] : g.Neighbors(u)) {
+    if (nbr == v) return w;
+  }
+  return 0.0;
+}
+
 TEST(AffinityGraphTest, BasicAccessors) {
   AffinityGraph g = Triangle();
   EXPECT_EQ(g.num_vertices(), 3);
   EXPECT_EQ(g.num_edges(), 3);
-  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);
-  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 1.0);
-  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 0, 2), 3.0);
   EXPECT_DOUBLE_EQ(g.TotalWeight(), 6.0);
   EXPECT_DOUBLE_EQ(g.TotalAffinityOf(0), 4.0);
   EXPECT_EQ(g.Degree(1), 2);
@@ -45,7 +53,7 @@ TEST(AffinityGraphTest, ParallelEdgesAccumulate) {
   ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
   ASSERT_TRUE(g.AddEdge(1, 0, 2.5).ok());
   EXPECT_EQ(g.num_edges(), 1);
-  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 0, 1), 3.5);
   EXPECT_DOUBLE_EQ(g.TotalAffinityOf(0), 3.5);
   EXPECT_DOUBLE_EQ(g.TotalWeight(), 3.5);
 }
@@ -54,7 +62,7 @@ TEST(AffinityGraphTest, NormalizeWeights) {
   AffinityGraph g = Triangle();
   g.NormalizeWeights();
   EXPECT_NEAR(g.TotalWeight(), 1.0, 1e-12);
-  EXPECT_NEAR(g.EdgeWeight(0, 2), 0.5, 1e-12);
+  EXPECT_NEAR(EdgeWeightOf(g, 0, 2), 0.5, 1e-12);
   EXPECT_NEAR(g.TotalAffinityOf(0), 4.0 / 6.0, 1e-12);
 }
 
@@ -69,7 +77,7 @@ TEST(AffinityGraphTest, InducedSubgraph) {
   AffinityGraph sub = g.InducedSubgraph({0, 2});
   EXPECT_EQ(sub.num_vertices(), 2);
   EXPECT_EQ(sub.num_edges(), 1);
-  EXPECT_DOUBLE_EQ(sub.EdgeWeight(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(sub, 0, 1), 3.0);
 }
 
 TEST(AffinityGraphTest, ConnectedComponents) {
@@ -93,6 +101,64 @@ TEST(AffinityGraphTest, CutWeight) {
   EXPECT_DOUBLE_EQ(g.CutWeight({0, 0, 0}), 0.0);
   EXPECT_DOUBLE_EQ(g.CutWeight({0, 1, 0}), 3.0);  // edges (0,1) + (1,2)
   EXPECT_DOUBLE_EQ(g.CutWeight({0, 1, 2}), 6.0);
+}
+
+// The CSR backend engages above the dense-backend vertex cutoff (64); the
+// view API must behave identically on both sides of it.
+TEST(AffinityGraphTest, CsrBackendMatchesDenseSemantics) {
+  // Same edge script on a 10-vertex (dense) and a 100-vertex (CSR) graph;
+  // the extra CSR vertices stay isolated, so shared vertices must agree
+  // exactly — including neighbor iteration order.
+  AffinityGraph dense(10);
+  AffinityGraph csr(100);
+  Rng rng(33);
+  for (int i = 0; i < 60; ++i) {
+    const int u = static_cast<int>(rng.NextUint64(10));
+    const int v = static_cast<int>(rng.NextUint64(10));
+    if (u == v) continue;
+    const double w = 0.25 + rng.NextDouble();
+    ASSERT_EQ(dense.AddEdge(u, v, w).ok(), csr.AddEdge(u, v, w).ok());
+  }
+  ASSERT_EQ(dense.num_edges(), csr.num_edges());
+  for (int v = 0; v < 10; ++v) {
+    ASSERT_EQ(dense.Degree(v), csr.Degree(v)) << "vertex " << v;
+    const auto d = dense.Neighbors(v);
+    const auto c = csr.Neighbors(v);
+    for (size_t i = 0; i < d.size(); ++i) {
+      EXPECT_EQ(d[i].first, c[i].first) << "vertex " << v << " slot " << i;
+      EXPECT_EQ(d[i].second, c[i].second) << "vertex " << v << " slot " << i;
+    }
+    EXPECT_EQ(dense.TotalAffinityOf(v), csr.TotalAffinityOf(v));
+  }
+  EXPECT_DOUBLE_EQ(dense.TotalWeight(), csr.TotalWeight());
+}
+
+TEST(AffinityGraphTest, CsrRebuildsAfterMutation) {
+  AffinityGraph g(80);  // above the dense-backend cutoff
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_EQ(g.Degree(0), 1);  // forces the CSR build
+  ASSERT_TRUE(g.AddEdge(0, 2, 2.0).ok());   // new edge invalidates it
+  ASSERT_TRUE(g.AddEdge(1, 0, 0.5).ok());   // duplicate accumulates
+  EXPECT_EQ(g.Degree(0), 2);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 0, 2), 2.0);
+  g.NormalizeWeights();
+  EXPECT_NEAR(g.TotalWeight(), 1.0, 1e-12);
+  EXPECT_NEAR(EdgeWeightOf(g, 0, 2), 2.0 / 3.5, 1e-12);
+  // Neighbor order is edge first-insertion order, same as the dense backend.
+  const auto nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0].first, 1);
+  EXPECT_EQ(nbrs[1].first, 2);
+}
+
+TEST(AffinityGraphTest, FinalizeIsIdempotent) {
+  AffinityGraph g(80);
+  ASSERT_TRUE(g.AddEdge(3, 4, 1.25).ok());
+  g.Finalize();
+  g.Finalize();
+  EXPECT_EQ(g.Degree(3), 1);
+  EXPECT_DOUBLE_EQ(EdgeWeightOf(g, 4, 3), 1.25);
 }
 
 TEST(PowerLawGraphTest, GeneratesRequestedShape) {

@@ -71,7 +71,7 @@ void ExpectIdenticalResults(const RasaResult& a, const RasaResult& b) {
 }
 
 // The cold-start fallback (invalid state) must be the stock pipeline:
-// OptimizeIncremental == Optimize, bit for bit, at every thread count.
+// the incremental path == a cold Optimize, bit for bit, at every thread count.
 TEST(IncrementalDeterminismTest, ColdStartMatchesFullResolve) {
   const ClusterSnapshot& snapshot = TestSnapshot();
   for (int threads : kThreadCounts) {
@@ -82,8 +82,9 @@ TEST(IncrementalDeterminismTest, ColdStartMatchesFullResolve) {
         optimizer.Optimize(*snapshot.cluster, snapshot.original_placement);
     ASSERT_TRUE(full.ok()) << full.status().ToString();
     IncrementalState state;
-    StatusOr<RasaResult> inc = optimizer.OptimizeIncremental(
-        *snapshot.cluster, snapshot.original_placement, nullptr, &state);
+    StatusOr<RasaResult> inc = optimizer.Optimize(
+        *snapshot.cluster, snapshot.original_placement,
+        OptimizeContext(nullptr, &state));
     ASSERT_TRUE(inc.ok()) << inc.status().ToString();
     EXPECT_FALSE(inc->incremental);
     ExpectIdenticalResults(*full, *inc);
@@ -119,14 +120,13 @@ TEST(IncrementalDeterminismTest, FullDriftInputMatchesFullResolve) {
     // fully-drifted input.
     IncrementalState state;
     ASSERT_TRUE(optimizer
-                    .OptimizeIncremental(*snapshot.cluster,
-                                         snapshot.original_placement, nullptr,
-                                         &state)
+                    .Optimize(*snapshot.cluster, snapshot.original_placement,
+                              OptimizeContext(nullptr, &state))
                     .ok());
     StatusOr<RasaResult> full = optimizer.Optimize(drifted, rebound);
     ASSERT_TRUE(full.ok()) << full.status().ToString();
     StatusOr<RasaResult> inc =
-        optimizer.OptimizeIncremental(drifted, rebound, nullptr, &state);
+        optimizer.Optimize(drifted, rebound, OptimizeContext(nullptr, &state));
     ASSERT_TRUE(inc.ok()) << inc.status().ToString();
     EXPECT_FALSE(inc->incremental);
     EXPECT_EQ(inc->incremental_reason, "drift-threshold");

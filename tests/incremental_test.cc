@@ -1,6 +1,6 @@
 // Delta-aware incremental re-optimization: the snapshot differ, the
 // incremental-state serialization (journal records + checkpoint section),
-// the reuse/fallback split of OptimizeIncremental, and the workflow
+// the reuse/fallback split of the incremental Optimize path, and the workflow
 // plumbing that carries the delta cache across cycles and crashes. The
 // bit-identity matrix (incremental ≡ full resolve across thread counts and
 // across --resume) lives in incremental_determinism_test.cc.
@@ -83,8 +83,9 @@ TEST(DeltaTest, UnchangedSnapshotDiffsClean) {
   const RasaOptimizer optimizer(TestOptions(19),
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
-  StatusOr<RasaResult> first = optimizer.OptimizeIncremental(
-      *snapshot.cluster, snapshot.original_placement, nullptr, &state);
+  StatusOr<RasaResult> first = optimizer.Optimize(
+      *snapshot.cluster, snapshot.original_placement,
+      OptimizeContext(nullptr, &state));
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   ASSERT_TRUE(state.valid);
 
@@ -102,8 +103,9 @@ TEST(DeltaTest, ReweightedAffinityDirtiesPartitions) {
   const RasaOptimizer optimizer(TestOptions(19),
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
-  StatusOr<RasaResult> first = optimizer.OptimizeIncremental(
-      *snapshot.cluster, snapshot.original_placement, nullptr, &state);
+  StatusOr<RasaResult> first = optimizer.Optimize(
+      *snapshot.cluster, snapshot.original_placement,
+      OptimizeContext(nullptr, &state));
   ASSERT_TRUE(first.ok()) << first.status().ToString();
 
   // Non-uniform re-weighting (uniform scaling cancels in the relative
@@ -132,8 +134,9 @@ TEST(DeltaTest, IncrementalStateRoundTripsThroughText) {
   const RasaOptimizer optimizer(TestOptions(23),
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
-  StatusOr<RasaResult> result = optimizer.OptimizeIncremental(
-      *snapshot.cluster, snapshot.original_placement, nullptr, &state);
+  StatusOr<RasaResult> result = optimizer.Optimize(
+      *snapshot.cluster, snapshot.original_placement,
+      OptimizeContext(nullptr, &state));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ASSERT_TRUE(state.valid);
   ASSERT_FALSE(state.subproblems.empty());
@@ -172,9 +175,8 @@ TEST(DeltaTest, JournalRecordRoundTripsIncrementalState) {
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
   ASSERT_TRUE(optimizer
-                  .OptimizeIncremental(*snapshot.cluster,
-                                       snapshot.original_placement, nullptr,
-                                       &state)
+                  .Optimize(*snapshot.cluster, snapshot.original_placement,
+                            OptimizeContext(nullptr, &state))
                   .ok());
   JournalRecord rec;
   rec.type = JournalRecordType::kIncrementalState;
@@ -197,9 +199,8 @@ TEST(DeltaTest, CheckpointCarriesIncrementalStateAndStaysBackwardCompatible) {
   c.frozen_cooldown.assign(snapshot.cluster->num_services(), 0);
   c.snapshot = snapshot;
   ASSERT_TRUE(optimizer
-                  .OptimizeIncremental(*snapshot.cluster,
-                                       snapshot.original_placement, nullptr,
-                                       &c.incremental)
+                  .Optimize(*snapshot.cluster, snapshot.original_placement,
+                            OptimizeContext(nullptr, &c.incremental))
                   .ok());
   ASSERT_TRUE(c.incremental.valid);
   StatusOr<WorkflowCheckpoint> decoded =
@@ -224,8 +225,9 @@ TEST(IncrementalOptimizeTest, FirstCallIsColdStartThenSteadyStateReuses) {
   const RasaOptimizer optimizer(TestOptions(29),
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
-  StatusOr<RasaResult> first = optimizer.OptimizeIncremental(
-      *snapshot.cluster, snapshot.original_placement, nullptr, &state);
+  StatusOr<RasaResult> first = optimizer.Optimize(
+      *snapshot.cluster, snapshot.original_placement,
+      OptimizeContext(nullptr, &state));
   ASSERT_TRUE(first.ok()) << first.status().ToString();
   EXPECT_FALSE(first->incremental);
   EXPECT_EQ(first->incremental_reason, "cold-start");
@@ -234,8 +236,9 @@ TEST(IncrementalOptimizeTest, FirstCallIsColdStartThenSteadyStateReuses) {
 
   // Re-optimizing the optimizer's own output with unchanged inputs: every
   // subproblem is clean and the realized placement is reproduced exactly.
-  StatusOr<RasaResult> second = optimizer.OptimizeIncremental(
-      *snapshot.cluster, first->new_placement, nullptr, &state);
+  StatusOr<RasaResult> second = optimizer.Optimize(
+      *snapshot.cluster, first->new_placement,
+      OptimizeContext(nullptr, &state));
   ASSERT_TRUE(second.ok()) << second.status().ToString();
   EXPECT_TRUE(second->incremental);
   EXPECT_EQ(second->dirty_subproblems, 0);
@@ -257,9 +260,8 @@ TEST(IncrementalOptimizeTest, StructureChangeFallsBackToFullResolve) {
                                 AlgorithmSelector(SelectorPolicy::kHeuristic));
   IncrementalState state;
   ASSERT_TRUE(optimizer
-                  .OptimizeIncremental(*snapshot.cluster,
-                                       snapshot.original_placement, nullptr,
-                                       &state)
+                  .Optimize(*snapshot.cluster, snapshot.original_placement,
+                            OptimizeContext(nullptr, &state))
                   .ok());
   std::vector<Machine> machines = snapshot.cluster->machines();
   machines[0].capacity[0] *= 2.0;
@@ -278,7 +280,7 @@ TEST(IncrementalOptimizeTest, StructureChangeFallsBackToFullResolve) {
     return p;
   }();
   StatusOr<RasaResult> result =
-      optimizer.OptimizeIncremental(resized, rebound, nullptr, &state);
+      optimizer.Optimize(resized, rebound, OptimizeContext(nullptr, &state));
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_FALSE(result->incremental);
   EXPECT_EQ(result->incremental_reason, "structure");

@@ -3,6 +3,7 @@
 #include "common/rng.h"
 #include "gtest/gtest.h"
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace rasa {
 namespace {
@@ -177,6 +178,56 @@ TEST(MatrixTest, EmptyMatrixBehaves) {
 TEST(MatrixTest, DebugStringMentionsShape) {
   Matrix a(3, 2, 1.0);
   EXPECT_NE(a.DebugString().find("3x2"), std::string::npos);
+}
+
+// ------------------------------------------------------------ CsrMatrix ---
+
+TEST(CsrMatrixTest, FromTripletsSortsAndMergesDuplicates) {
+  // Rows arrive out of order with one duplicate entry.
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {1, 0, 0, 1, 0}, {2, 1, 0, 2, 1}, {4.0, 1.0, 2.0, 0.5, 3.0});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 4.0);  // 1.0 + 3.0 merged
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 4.5);  // 4.0 + 0.5 merged
+}
+
+TEST(CsrMatrixTest, SpMMBitIdenticalToDenseMatMul) {
+  Rng rng(91);
+  const int n = 40;
+  // ~20% dense random symmetric-ish matrix via triplets.
+  std::vector<int> rows, cols;
+  std::vector<double> vals;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (!rng.NextBool(0.2)) continue;
+      rows.push_back(i);
+      cols.push_back(j);
+      vals.push_back(rng.NextDouble(-2.0, 2.0));
+    }
+  }
+  CsrMatrix sparse = CsrMatrix::FromTriplets(n, n, rows, cols, vals);
+  const Matrix dense = sparse.ToDense();
+  Matrix b = Matrix::Random(n, 7, 1.0, rng);
+  const Matrix via_sparse = sparse.MatMul(b);
+  const Matrix via_dense = dense.MatMul(b);
+  ASSERT_TRUE(via_sparse.SameShape(via_dense));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_EQ(via_sparse(i, j), via_dense(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CsrMatrixTest, EmptyRowsHandled) {
+  CsrMatrix m = CsrMatrix::FromTriplets(3, 2, {1}, {0}, {5.0});
+  Matrix out = m.MatMul(Matrix(2, 2, 1.0));
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(out(2, 1), 0.0);
 }
 
 }  // namespace

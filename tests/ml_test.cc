@@ -48,18 +48,18 @@ TEST(FeatureGraphTest, NormalizedAdjacencyRowsAreBounded) {
   // Symmetry.
   for (int i = 0; i < 3; ++i) {
     for (int j = 0; j < 3; ++j) {
-      EXPECT_NEAR(fg.a_hat(i, j), fg.a_hat(j, i), 1e-12);
+      EXPECT_NEAR(fg.a_hat.At(i, j), fg.a_hat.At(j, i), 1e-12);
     }
   }
   // Self-loops make diagonals positive.
-  for (int i = 0; i < 3; ++i) EXPECT_GT(fg.a_hat(i, i), 0.0);
+  for (int i = 0; i < 3; ++i) EXPECT_GT(fg.a_hat.At(i, i), 0.0);
 }
 
 TEST(FeatureGraphTest, IsolatedVertexStillNormalized) {
   AffinityGraph g(2);  // no edges
   FeatureGraph fg = MakeFeatureGraph(g, Matrix(2, 1, 1.0));
-  EXPECT_NEAR(fg.a_hat(0, 0), 1.0, 1e-12);  // self-loop only, degree 1
-  EXPECT_NEAR(fg.a_hat(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(fg.a_hat.At(0, 0), 1.0, 1e-12);  // self-loop only, degree 1
+  EXPECT_NEAR(fg.a_hat.At(0, 1), 0.0, 1e-12);
 }
 
 // ------------------------------------------------------------------ GCN ---

@@ -6,6 +6,7 @@
 
 #include "core/objective.h"
 #include "gtest/gtest.h"
+#include "test_util.h"
 
 namespace rasa {
 namespace {
@@ -48,7 +49,7 @@ TEST(SerializationTest, RoundTripPreservesEverything) {
   }
   // Edge weights to full precision.
   for (const AffinityEdge& e : a.affinity().edges()) {
-    EXPECT_DOUBLE_EQ(b.affinity().EdgeWeight(e.u, e.v), e.weight);
+    EXPECT_DOUBLE_EQ(testing::EdgeWeightOf(b.affinity(), e.u, e.v), e.weight);
   }
   // Placement identical, so the objective matches bit-for-bit.
   EXPECT_EQ(restored->original_placement.DiffCount(

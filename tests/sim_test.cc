@@ -6,6 +6,7 @@
 #include "core/objective.h"
 #include "gtest/gtest.h"
 #include "sim/production.h"
+#include "test_util.h"
 #include "sim/workflow.h"
 
 namespace rasa {
@@ -129,7 +130,8 @@ TEST_F(SimFixture, ZeroNoiseCollectionIsExact) {
   CollectedState state = CollectClusterState(
       *snapshot_.cluster, snapshot_.original_placement, 0.0, 7);
   for (const AffinityEdge& e : snapshot_.cluster->affinity().edges()) {
-    EXPECT_NEAR(state.measured_cluster->affinity().EdgeWeight(e.u, e.v),
+    EXPECT_NEAR(testing::EdgeWeightOf(state.measured_cluster->affinity(), e.u,
+                                      e.v),
                 e.weight, 1e-9);
   }
 }

@@ -10,6 +10,15 @@
 
 namespace rasa::testing {
 
+/// Weight of edge {u, v} found by scanning the neighbor span, or 0 when
+/// absent. Replaces the random-access accessor the view API dropped.
+inline double EdgeWeightOf(const AffinityGraph& graph, int u, int v) {
+  for (const auto& [nbr, w] : graph.Neighbors(u)) {
+    if (nbr == v) return w;
+  }
+  return 0.0;
+}
+
 /// Builder for small hand-crafted clusters used across core tests.
 class ClusterBuilder {
  public:
