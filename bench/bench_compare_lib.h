@@ -215,7 +215,7 @@ inline bool ParseBenchJson(const std::string& text, std::vector<BenchRow>* rows,
 inline bool IsAxisKey(const std::string& key) {
   static const char* const kAxisKeys[] = {
       "threads", "cycle",   "cycles", "scale", "size",
-      "machines", "services", "containers", "seed", "index",
+      "machines", "services", "containers", "seed", "index", "rep",
   };
   for (const char* axis : kAxisKeys) {
     if (key == axis) return true;

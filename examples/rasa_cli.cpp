@@ -10,17 +10,22 @@
 // Run `rasa_cli help` for the subcommand list and `rasa_cli help workflow`
 // (etc.) for per-subcommand operands and flags.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "cluster/serialization.h"
 #include "common/durable_io.h"
 #include "common/json_writer.h"
+#include "common/logging.h"
 #include "common/metrics.h"
+#include "common/strings.h"
+#include "common/telemetry.h"
 #include "core/explain.h"
 #include "core/recovery.h"
 #include "core/objective.h"
@@ -45,9 +50,14 @@ struct CliConfig {
   int threads = 1;
   std::string metrics_out;
   bool trace = false;
+  std::string trace_out;
   std::string state_dir;
   bool resume = false;
   bool incremental = false;
+  std::string telemetry_dir;
+  std::string log_level;
+  std::string log_jsonl;
+  bool follow = false;
 };
 
 // Bitmask of subcommands a flag applies to.
@@ -58,6 +68,7 @@ enum CommandBit : unsigned {
   kWorkflow = 1u << 3,
   kExplain = 1u << 4,
   kRecover = 1u << 5,
+  kTail = 1u << 6,
 };
 
 struct CommandSpec {
@@ -99,6 +110,11 @@ constexpr CommandSpec kCommands[] = {
      "Inspect a durable state directory without resuming: checkpoint\n"
      "summary, journal records, and the applied / not-applied / torn\n"
      "classification of any in-flight migration commands."},
+    {"tail", kTail, 1, 1, "<telemetry-dir>",
+     "Render the per-cycle telemetry journal written by\n"
+     "`workflow --telemetry-dir=DIR` as a cycle table with SLO burn-rate\n"
+     "and anomaly columns. With --follow, keeps polling the journal and\n"
+     "appends new cycles as the workflow writes them (live tailing)."},
 };
 
 struct FlagSpec {
@@ -111,6 +127,8 @@ struct FlagSpec {
 };
 
 constexpr unsigned kRunCommands = kOptimize | kWorkflow | kExplain;
+constexpr unsigned kAllCommands =
+    kGenerate | kStats | kOptimize | kWorkflow | kExplain | kRecover | kTail;
 
 const FlagSpec kFlags[] = {
     {"--threads", kRunCommands, "N",
@@ -160,6 +178,52 @@ const FlagSpec kFlags[] = {
      "DESIGN.md).",
      [](CliConfig& c, const std::string&) {
        c.incremental = true;
+       return true;
+     }},
+    {"--trace-out", kRunCommands, "FILE",
+     "write the recorded phase timeline as Chrome trace-event JSON\n"
+     "(loadable in Perfetto / chrome://tracing) to FILE via an atomic\n"
+     "write; implies --trace. Without this flag --trace keeps printing\n"
+     "the indented tree to stderr as before.",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.trace = true;
+       c.trace_out = v;
+       return true;
+     }},
+    {"--telemetry-dir", kWorkflow, "DIR",
+     "continuous telemetry: per-cycle SLO/anomaly evaluation recorded\n"
+     "into each cycle report, a JSONL journal streamed to\n"
+     "DIR/telemetry.jsonl (fsync per line — `rasa_cli tail DIR` can\n"
+     "follow a live run), and an OpenMetrics exposition of the registry\n"
+     "written to DIR/metrics.om after the run.",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.telemetry_dir = v;
+       return true;
+     }},
+    {"--log-level", kAllCommands, "LEVEL",
+     "minimum log severity: debug|info|warning|error (or 0-3).\n"
+     "Overrides the RASA_LOG_LEVEL environment variable.",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.log_level = v;
+       return true;
+     }},
+    {"--log-jsonl", kAllCommands, "FILE",
+     "mirror every emitted log record to FILE as JSONL\n"
+     "({ts, severity, subsystem, message}); same records the console\n"
+     "sees after the severity filter. Overrides RASA_LOG_JSONL.",
+     [](CliConfig& c, const std::string& v) {
+       if (v.empty()) return false;
+       c.log_jsonl = v;
+       return true;
+     }},
+    {"--follow", kTail, nullptr,
+     "keep polling the journal and append new cycles as they are\n"
+     "written (Ctrl-C to stop).",
+     [](CliConfig& c, const std::string&) {
+       c.follow = true;
        return true;
      }},
 };
@@ -320,8 +384,21 @@ bool EmitObservability(const CliConfig& config, const WorkflowReport* workflow,
                        const RasaResult* single_run = nullptr,
                        bool explain_cycles = false) {
   if (config.trace) {
-    std::fprintf(stderr, "--- phase trace ---\n%s",
-                 Tracer::Default().SummaryTree().c_str());
+    if (!config.trace_out.empty()) {
+      // Crash-atomic like --metrics-out; the file is Perfetto-loadable
+      // Chrome trace-event JSON.
+      const Status written = AtomicWriteFile(
+          config.trace_out, ChromeTraceJson(Tracer::Default().Events()) + "\n");
+      if (!written.ok()) {
+        std::fprintf(stderr, "trace: cannot write %s: %s\n",
+                     config.trace_out.c_str(), written.ToString().c_str());
+        return false;
+      }
+      std::fprintf(stderr, "trace: wrote %s\n", config.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "--- phase trace ---\n%s",
+                   Tracer::Default().SummaryTree().c_str());
+    }
   }
   if (config.metrics_out.empty()) return true;
   JsonWriter w;
@@ -501,6 +578,7 @@ int Workflow(const CliConfig& config) {
   options.state_dir = config.state_dir;
   options.resume = config.resume;
   options.incremental = config.incremental;
+  options.telemetry_dir = config.telemetry_dir;
   // Per-cycle measurement noise re-randomizes every affinity weight, which
   // the snapshot differ reports as full drift; incremental mode only pays
   // off with exact measurement (see WorkflowOptions::incremental).
@@ -564,8 +642,17 @@ int Workflow(const CliConfig& config) {
     } else if (!cr.incremental_reason.empty()) {
       inc_tag = " [" + cr.incremental_reason + "]";
     }
+    std::string slo_tag;
+    if (cr.telemetry.populated) {
+      for (const SloStatus& slo : cr.telemetry.slo) {
+        if (slo.alert != SloAlertState::kOk) {
+          slo_tag += " [" + slo.name + ":" + SloAlertStateName(slo.alert) + "]";
+        }
+      }
+      if (cr.telemetry.gap.anomalous) slo_tag += " [gap-anomaly]";
+    }
     std::printf(
-        "cycle %2zu: affinity %.4f -> %.4f%s%s%s, %d moved, %d batches, "
+        "cycle %2zu: affinity %.4f -> %.4f%s%s%s%s, %d moved, %d batches, "
         "%d cmd failures, %d retries, %d replans (%.2fs)\n",
         first_cycle + c, cr.affinity_before, cr.affinity_after,
         cr.executed ? (cr.reached_target ? " [executed]" : " [partial]")
@@ -573,8 +660,9 @@ int Workflow(const CliConfig& config) {
         cr.solver_failed
             ? " [solver failed]"
             : (cr.recovered ? " [recovered]" : ""),
-        inc_tag.c_str(), cr.moved_containers, cr.migration_batches,
-        cr.commands_failed, cr.command_retries, cr.replans, cr.seconds);
+        inc_tag.c_str(), slo_tag.c_str(), cr.moved_containers,
+        cr.migration_batches, cr.commands_failed, cr.command_retries,
+        cr.replans, cr.seconds);
   }
   std::printf(
       "totals: %d executions (%d partial), %d dry-runs, %d rollbacks, "
@@ -589,6 +677,20 @@ int Workflow(const CliConfig& config) {
   std::printf("final gained affinity: %.4f (feasible: %s)\n",
               GainedAffinity(*snapshot->cluster, report->final_placement),
               report->final_placement.CheckFeasible(true).ok() ? "yes" : "no");
+  if (!config.telemetry_dir.empty()) {
+    // The journal streamed during the run; the exposition-format scrape is
+    // an end-of-run artifact (what a Prometheus endpoint would serve).
+    const Status om =
+        AtomicWriteFile(config.telemetry_dir + "/metrics.om",
+                        OpenMetricsText(MetricRegistry::Default().Scrape()));
+    if (!om.ok()) {
+      std::fprintf(stderr, "telemetry: cannot write metrics.om: %s\n",
+                   om.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: wrote %s/telemetry.jsonl and %s/metrics.om\n",
+                config.telemetry_dir.c_str(), config.telemetry_dir.c_str());
+  }
   if (!EmitObservability(config, &*report)) return 1;
   return report->sla_violations + report->feasibility_violations == 0 ? 0 : 3;
 }
@@ -653,12 +755,145 @@ int Explain(const CliConfig& config) {
   return EmitObservability(config, &*report, nullptr, true) ? 0 : 1;
 }
 
+// --- tail -----------------------------------------------------------------
+
+// Number/bool accessors that treat missing or mistyped keys as defaults:
+// the journal may be mid-write (torn last line) or from a newer schema.
+double JournalNumber(const JsonValue& line, const char* key) {
+  const JsonValue* v = line.Get(key);
+  return (v != nullptr && v->kind == JsonValue::Kind::kNumber) ? v->number
+                                                               : 0.0;
+}
+
+bool JournalFlag(const JsonValue& line, const char* key) {
+  const JsonValue* v = line.Get(key);
+  return v != nullptr && v->kind == JsonValue::Kind::kBool && v->boolean;
+}
+
+// Worst SLO alert across the cycle plus its burn rates, e.g.
+// "latency_p99:page f=28.8 s=7.2"; "ok" when every objective is green.
+std::string WorstSloCell(const JsonValue& line) {
+  const JsonValue* slo = line.Get("slo");
+  if (slo == nullptr || slo->kind != JsonValue::Kind::kArray) return "-";
+  int worst_rank = 0;
+  std::string cell = "ok";
+  for (const JsonValue& status : slo->array) {
+    const JsonValue* alert = status.Get("alert");
+    const JsonValue* name = status.Get("name");
+    if (alert == nullptr || alert->kind != JsonValue::Kind::kString) continue;
+    int rank = 0;
+    if (alert->string == "fast-burn" || alert->string == "slow-burn") rank = 1;
+    if (alert->string == "page") rank = 2;
+    if (rank == 0 || rank <= worst_rank) continue;
+    worst_rank = rank;
+    cell = (name != nullptr ? name->string : "?") + ":" + alert->string +
+           StrFormat(" f=%.1f s=%.1f", JournalNumber(status, "fast_burn"),
+                     JournalNumber(status, "slow_burn"));
+  }
+  return cell;
+}
+
+void PrintTailHeader() {
+  std::printf("%5s %8s %9s %9s %8s %9s %-12s %-6s %s\n", "cycle", "secs",
+              "affinity", "gap", "p99", "err", "status", "anom", "slo");
+}
+
+void PrintTailRow(const JsonValue& line) {
+  const char* status = "dry-run";
+  if (JournalFlag(line, "executed")) status = "executed";
+  if (JournalFlag(line, "rolled_back")) status = "rolled-back";
+  if (JournalFlag(line, "solver_failed")) status = "solver-fail";
+  std::string anom;
+  const JsonValue* cost = line.Get("cost_anomaly");
+  const JsonValue* gap = line.Get("gap_anomaly");
+  if (cost != nullptr && JournalFlag(*cost, "anomalous")) anom += "C";
+  if (gap != nullptr && JournalFlag(*gap, "anomalous")) anom += "G";
+  if (anom.empty()) anom = "-";
+  std::printf("%5d %8.2f %9.4f %9.6f %8.4f %9.6f %-12s %-6s %s\n",
+              static_cast<int>(JournalNumber(line, "cycle")),
+              JournalNumber(line, "seconds"),
+              JournalNumber(line, "gained_affinity"),
+              JournalNumber(line, "optimality_gap"),
+              JournalNumber(line, "latency_p99"),
+              JournalNumber(line, "error_rate"), status, anom.c_str(),
+              WorstSloCell(line).c_str());
+}
+
+// Renders `<dir>/telemetry.jsonl` as a cycle table; with --follow, keeps
+// polling for appended lines (the journal is fsync'd per line, so a tail
+// sees complete records plus at most one torn line, which is retried on
+// the next poll once its newline lands).
+int Tail(const CliConfig& config) {
+  const std::string path = config.args[0] + "/telemetry.jsonl";
+  size_t offset = 0;      // bytes of the journal already rendered
+  bool printed_any = false;
+  for (;;) {
+    StatusOr<std::string> content = ReadFileToString(path);
+    if (!content.ok()) {
+      if (!config.follow) {
+        std::fprintf(stderr, "tail: %s\n",
+                     content.status().ToString().c_str());
+        return 1;
+      }
+      // --follow before the run opened the journal: wait for it to appear.
+    } else {
+      while (offset < content->size()) {
+        const size_t newline = content->find('\n', offset);
+        if (newline == std::string::npos) break;  // torn line, retry later
+        const std::string record = content->substr(offset, newline - offset);
+        offset = newline + 1;
+        if (record.empty()) continue;
+        StatusOr<JsonValue> line = ParseJson(record);
+        if (!line.ok()) {
+          std::fprintf(stderr, "tail: skipping malformed line: %s\n",
+                       line.status().ToString().c_str());
+          continue;
+        }
+        if (!printed_any) {
+          PrintTailHeader();
+          printed_any = true;
+        }
+        PrintTailRow(*line);
+      }
+      std::fflush(stdout);
+    }
+    if (!config.follow) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+  if (!printed_any) std::printf("(no complete journal lines in %s)\n",
+                                path.c_str());
+  return 0;
+}
+
+// Maps --log-level values (words or the RASA_LOG_LEVEL digits) onto the
+// logging threshold. Returns false on an unknown value.
+bool ApplyLogLevel(const std::string& value) {
+  if (value == "debug" || value == "0") {
+    SetLogLevel(LogLevel::kDebug);
+  } else if (value == "info" || value == "1") {
+    SetLogLevel(LogLevel::kInfo);
+  } else if (value == "warning" || value == "2") {
+    SetLogLevel(LogLevel::kWarning);
+  } else if (value == "error" || value == "3") {
+    SetLogLevel(LogLevel::kError);
+  } else {
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliConfig config;
   const int parse_status = ParseCliConfig(argc, argv, config);
   if (parse_status != 0) return parse_status;
+  if (!config.log_level.empty() && !ApplyLogLevel(config.log_level)) {
+    std::fprintf(stderr, "unknown --log-level '%s' (want debug|info|warning|"
+                 "error or 0-3)\n", config.log_level.c_str());
+    return 2;
+  }
+  if (!config.log_jsonl.empty()) rasa::SetLogJsonlPath(config.log_jsonl);
   if (config.trace) rasa::Tracer::Default().Enable(true);
   if (config.command == "generate") return Generate(config);
   if (config.command == "stats") return Stats(config);
@@ -666,6 +901,7 @@ int main(int argc, char** argv) {
   if (config.command == "workflow") return Workflow(config);
   if (config.command == "explain") return Explain(config);
   if (config.command == "recover") return Recover(config);
+  if (config.command == "tail") return Tail(config);
   // Unreachable: ParseCliConfig rejected unknown subcommands.
   return HelpOverview();
 }

@@ -1,6 +1,12 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+
+#include "common/json_writer.h"
 
 namespace rasa {
 namespace {
@@ -41,26 +47,111 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+const char* LevelWord(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warning";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+// Global JSONL mirror sink. The writer and its path live behind one mutex;
+// records are whole lines, so concurrent emitters interleave per record.
+struct JsonlSink {
+  std::mutex mu;
+  JsonlWriter writer;
+  bool env_checked = false;
+};
+
+JsonlSink& Sink() {
+  static JsonlSink* sink = new JsonlSink();  // leaked, like the registries
+  return *sink;
+}
+
+void EmitJsonl(LogLevel level, const char* subsystem,
+               const std::string& message) {
+  JsonlSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  if (!sink.env_checked) {
+    sink.env_checked = true;
+    const char* env = std::getenv("RASA_LOG_JSONL");
+    if (env != nullptr && env[0] != '\0' && !sink.writer.is_open()) {
+      sink.writer.Open(env);
+    }
+  }
+  if (!sink.writer.is_open()) return;
+  const double ts =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts").Value(ts);
+  w.Key("severity").Value(LevelWord(level));
+  w.Key("subsystem").Value(subsystem);
+  w.Key("message").Value(message);
+  w.EndObject();
+  sink.writer.Append(w.str());
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { MutableLevel() = level; }
 LogLevel GetLogLevel() { return MutableLevel(); }
 
+JsonlWriter::~JsonlWriter() { Close(); }
+
+bool JsonlWriter::Open(const std::string& path) {
+  Close();
+  file_ = std::fopen(path.c_str(), "ab");
+  return file_ != nullptr;
+}
+
+bool JsonlWriter::Append(const std::string& line) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return false;
+  }
+  if (std::fputc('\n', file_) == EOF) return false;
+  if (std::fflush(file_) != 0) return false;
+  return fsync(fileno(file_)) == 0;
+}
+
+void JsonlWriter::Close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void SetLogJsonlPath(const std::string& path) {
+  JsonlSink& sink = Sink();
+  std::lock_guard<std::mutex> lock(sink.mu);
+  sink.env_checked = true;  // an explicit path overrides the env variable
+  sink.writer.Close();
+  if (!path.empty()) sink.writer.Open(path);
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  const char* base = file;
+    : level_(level), basename_(file), line_(line) {
   for (const char* p = file; *p != '\0'; ++p) {
-    if (*p == '/') base = p + 1;
+    if (*p == '/') basename_ = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  stream_ << "\n";
-  std::cerr << stream_.str();
-  (void)level_;
+  const std::string message = stream_.str();
+  std::cerr << "[" << LevelName(level_) << " " << basename_ << ":" << line_
+            << "] " << message << "\n";
+  EmitJsonl(level_, basename_, message);
 }
 
 CheckFailure::CheckFailure(const char* file, int line, const char* condition) {

@@ -1,6 +1,7 @@
 #ifndef RASA_COMMON_LOGGING_H_
 #define RASA_COMMON_LOGGING_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -16,6 +17,40 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Plain-text line-append writer for JSONL files: each Append writes one
+/// line plus '\n' and flushes + fsyncs, so a tailer (or crash recovery)
+/// never observes a torn line as valid JSON. Deliberately simpler than
+/// DurableLogWriter — no framing or CRC — because JSONL consumers want a
+/// file that standard line tools can read while it grows.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  ~JsonlWriter();
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// Opens `path` for appending (creating it if needed). Returns false and
+  /// stays closed on failure.
+  bool Open(const std::string& path);
+  bool is_open() const { return file_ != nullptr; }
+  /// Writes `line` (which must not contain '\n') plus the newline, then
+  /// flushes and fsyncs. No-op returning false when not open.
+  bool Append(const std::string& line);
+  void Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Mirrors every emitted log record (post severity filter) to `path` as
+/// JSONL: {"ts": <unix seconds>, "severity": "...", "subsystem":
+/// "<file basename>", "message": "..."}. An empty path turns the sink off.
+/// Also installable via the RASA_LOG_JSONL environment variable (read once,
+/// at the first log emission). The severity filter is the ordinary
+/// SetLogLevel / RASA_LOG_LEVEL gate — the sink sees exactly the records
+/// the console sees.
+void SetLogJsonlPath(const std::string& path);
+
 namespace internal {
 
 class LogMessage {
@@ -27,6 +62,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* basename_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -67,6 +67,15 @@ std::vector<int64_t>& SpanStack() {
   return *tls_span_stack;
 }
 
+// Small stable per-thread id for TraceEvent::tid. Unlike CurrentShardIndex
+// it is not folded mod kMetricShards, so distinct threads never alias in
+// the trace view.
+int CurrentTraceTid() {
+  static std::atomic<int> next{0};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
 }  // namespace
 
 bool MetricsEnabled() {
@@ -199,6 +208,71 @@ std::string MetricsSnapshot::ToJson() const {
   return w.str();
 }
 
+namespace {
+
+Histogram::Snapshot DiffHistogram(const Histogram::Snapshot& cur,
+                                  const Histogram::Snapshot& prev) {
+  Histogram::Snapshot out;
+  out.count = cur.count >= prev.count ? cur.count - prev.count : cur.count;
+  out.sum = cur.count >= prev.count ? cur.sum - prev.sum : cur.sum;
+  // min/max of just the window are not recoverable from cumulative
+  // extremes; estimate them from the delta buckets' edges, clamped to the
+  // cumulative bounds (see the header comment on Diff).
+  int first = -1;
+  int last = -1;
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t c = cur.buckets[b];
+    const uint64_t p = prev.buckets[b];
+    out.buckets[b] = c >= p ? c - p : c;
+    if (out.buckets[b] > 0) {
+      if (first < 0) first = b;
+      last = b;
+    }
+  }
+  if (out.count > 0) {
+    const double lo = first <= 0 ? 0.0 : Histogram::BucketUpperBound(first - 1);
+    double hi = Histogram::BucketUpperBound(last);
+    if (!std::isfinite(hi)) hi = cur.max;
+    out.min = std::max(lo, cur.min);
+    out.max = std::min(hi, cur.max);
+  }
+  return out;
+}
+
+// Merges two sorted-by-name vectors: pairs present in both diff via
+// `combine`, pairs only in `cur` pass through, pairs only in `prev` drop.
+template <typename T, typename Combine>
+std::vector<std::pair<std::string, T>> DiffSorted(
+    const std::vector<std::pair<std::string, T>>& cur,
+    const std::vector<std::pair<std::string, T>>& prev, Combine combine) {
+  std::vector<std::pair<std::string, T>> out;
+  out.reserve(cur.size());
+  size_t j = 0;
+  for (const auto& [name, value] : cur) {
+    while (j < prev.size() && prev[j].first < name) ++j;
+    if (j < prev.size() && prev[j].first == name) {
+      out.emplace_back(name, combine(value, prev[j].second));
+    } else {
+      out.emplace_back(name, value);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::Diff(const MetricsSnapshot& prev) const {
+  MetricsSnapshot out;
+  out.counters = DiffSorted(counters, prev.counters,
+                            [](uint64_t cur, uint64_t old) {
+                              return cur >= old ? cur - old : cur;
+                            });
+  out.gauges = DiffSorted(gauges, prev.gauges,
+                          [](double cur, double) { return cur; });
+  out.histograms = DiffSorted(histograms, prev.histograms, DiffHistogram);
+  return out;
+}
+
 MetricRegistry& MetricRegistry::Default() {
   static MetricRegistry* registry = new MetricRegistry();  // leaked
   return *registry;
@@ -268,6 +342,7 @@ int64_t Tracer::Begin(const std::string& name, int64_t parent) {
     TraceEvent event;
     event.id = id;
     event.parent = parent >= 0 ? parent : (stack.empty() ? -1 : stack.back());
+    event.tid = CurrentTraceTid();
     event.name = name;
     event.start_seconds = now;
     event.duration_seconds = -1.0;  // open

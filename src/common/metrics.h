@@ -134,6 +134,17 @@ struct MetricsSnapshot {
   /// one JSON object value.
   void AppendJson(JsonWriter& w) const;
   std::string ToJson() const;
+
+  /// What happened between `prev` and this scrape of the same registry.
+  /// Counters subtract (a counter that shrank — registry Reset between the
+  /// scrapes — reports its current value); gauges keep the current value
+  /// (the delta of a last-write-wins instantaneous reading is meaningless);
+  /// histograms subtract bucket-wise with count and sum, and estimate the
+  /// window's min/max from the delta buckets' edges clamped to the
+  /// cumulative min/max (exact only when the window's extremes fall in
+  /// buckets untouched before `prev`). Metrics absent from `prev` pass
+  /// through unchanged; metrics absent from `this` are dropped.
+  MetricsSnapshot Diff(const MetricsSnapshot& prev) const;
 };
 
 /// Name -> metric map. Get-or-create is mutex-protected (cold path);
@@ -165,6 +176,9 @@ class MetricRegistry {
 struct TraceEvent {
   int64_t id = -1;
   int64_t parent = -1;  // -1 = root
+  /// Small stable id of the thread that recorded the span (creation order),
+  /// the "tid" of the Chrome trace-event export.
+  int tid = 0;
   std::string name;
   double start_seconds = 0.0;
   double duration_seconds = 0.0;

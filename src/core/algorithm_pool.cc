@@ -66,10 +66,12 @@ StatusOr<SubproblemSolution> RunPoolAlgorithm(
       static Counter& masters = reg.GetCounter("solver.cg_master_solves");
       static Counter& warm = reg.GetCounter("solver.cg_master_warm_started");
       static Counter& refactor = reg.GetCounter("solver.refactorizations");
+      static Counter& lp_pivots = reg.GetCounter("solver.lp_pivots");
       static Histogram& eta = reg.GetHistogram("solver.max_eta_length");
       masters.Increment(static_cast<uint64_t>(cg_stats.master_solves));
       warm.Increment(static_cast<uint64_t>(cg_stats.master_warm_started));
       refactor.Increment(static_cast<uint64_t>(cg_stats.refactorizations));
+      lp_pivots.Increment(static_cast<uint64_t>(cg_stats.lp_iterations));
       eta.Observe(static_cast<double>(cg_stats.max_eta_length));
       if (stats != nullptr) {
         stats->has_cg = true;

@@ -50,11 +50,13 @@ void RecordMipMetrics(const MipResult& result) {
   static Counter& warm_nodes = reg.GetCounter("solver.warm_started_nodes");
   static Counter& bnb_nodes = reg.GetCounter("solver.bnb_nodes");
   static Counter& refactorizations = reg.GetCounter("solver.refactorizations");
+  static Counter& lp_pivots = reg.GetCounter("solver.lp_pivots");
   static Histogram& eta = reg.GetHistogram("solver.max_eta_length");
   static Histogram& node_pivots = reg.GetHistogram("solver.max_node_pivots");
   warm_nodes.Increment(static_cast<uint64_t>(result.warm_started_nodes));
   bnb_nodes.Increment(static_cast<uint64_t>(result.nodes_explored));
   refactorizations.Increment(static_cast<uint64_t>(result.refactorizations));
+  lp_pivots.Increment(static_cast<uint64_t>(result.lp_iterations));
   eta.Observe(static_cast<double>(result.max_eta_length));
   node_pivots.Observe(static_cast<double>(result.max_node_pivots));
 }

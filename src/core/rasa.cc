@@ -999,6 +999,7 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
     static Histogram& opt_seconds = reg.GetHistogram("rasa.optimize_seconds");
     static Gauge& improvement_gauge = reg.GetGauge("rasa.improvement");
     static Gauge& gained_gauge = reg.GetGauge("rasa.gained_affinity");
+    static Gauge& gap_gauge = reg.GetGauge("rasa.certificate_gap");
     runs.Increment();
     if (!result.should_execute) dry_runs.Increment();
     solver_failures.Increment(static_cast<uint64_t>(result.solver_failures));
@@ -1014,6 +1015,9 @@ StatusOr<RasaResult> RasaOptimizer::OptimizeWithPlan(
     opt_seconds.Observe(result.elapsed_seconds);
     improvement_gauge.Set(improvement);
     gained_gauge.Set(result.new_gained_affinity);
+    if (result.report.populated) {
+      gap_gauge.Set(result.report.certificate.Gap());
+    }
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "common/metrics.h"
+
 namespace rasa {
 namespace {
 
@@ -33,11 +35,17 @@ SolveLedger& SolveLedger::Default() {
 }
 
 void SolveLedger::Append(LedgerRecord record) {
+  static Counter& appended =
+      MetricRegistry::Default().GetCounter("ledger.records");
+  appended.Increment();
   std::lock_guard<std::mutex> lock(mu_);
   records_.push_back(std::move(record));
 }
 
 void SolveLedger::AppendAll(const std::vector<LedgerRecord>& records) {
+  static Counter& appended =
+      MetricRegistry::Default().GetCounter("ledger.records");
+  appended.Increment(records.size());
   std::lock_guard<std::mutex> lock(mu_);
   records_.insert(records_.end(), records.begin(), records.end());
 }

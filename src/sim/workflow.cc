@@ -18,6 +18,7 @@
 #include "core/objective.h"
 #include "core/recovery.h"
 #include "sim/fault_injection.h"
+#include "sim/production.h"
 
 namespace rasa {
 namespace {
@@ -93,6 +94,15 @@ std::vector<DriftMove> ComputeDriftMoves(const Cluster& cluster,
   return out;
 }
 
+// Delta value of a counter in a diffed snapshot; 0 when absent.
+double CounterDelta(const MetricsSnapshot& delta, const std::string& name) {
+  const auto it = std::lower_bound(
+      delta.counters.begin(), delta.counters.end(), name,
+      [](const auto& entry, const std::string& n) { return entry.first < n; });
+  if (it == delta.counters.end() || it->first != name) return 0.0;
+  return static_cast<double>(it->second);
+}
+
 double MaxMachineUtilization(const Cluster& cluster,
                              const Placement& placement) {
   double worst = 0.0;
@@ -146,6 +156,11 @@ class WorkflowRunner {
   WorkflowReport report_;
   Placement live_;
   Rng rng_;
+  // Telemetry pipeline (null when disabled) + the previous cycle's scrape
+  // the per-cycle registry delta is computed against.
+  std::unique_ptr<TelemetryPipeline> telemetry_;
+  JsonlWriter telemetry_journal_;
+  MetricsSnapshot prev_scrape_;
   // Delta cache carried across cycles (incremental mode only; stays invalid
   // otherwise). Journaled after every optimizer run and checkpointed, so
   // resume replays incremental runs bit-identically.
@@ -269,7 +284,41 @@ Status WorkflowRunner::CycleTail(int cycle, CycleReport cr, Stopwatch& timer,
   }
   cr.seconds = timer.ElapsedSeconds();
   if (MetricsEnabled()) {
-    cr.metrics = MetricRegistry::Default().Scrape();
+    // Per-cycle view: what the registry recorded during this cycle, not the
+    // cumulative scrape (CycleReport::metrics doc).
+    MetricsSnapshot current = MetricRegistry::Default().Scrape();
+    cr.metrics = current.Diff(prev_scrape_);
+    prev_scrape_ = std::move(current);
+  }
+  if (telemetry_ != nullptr) {
+    // live_ here is the post-execution, pre-drift placement — the state the
+    // cluster actually serves traffic from until the next cycle.
+    const TrafficQuantiles traffic = EstimateTrafficQuantiles(cluster_, live_);
+    CycleSample sample;
+    sample.cycle = cycle;
+    sample.seconds = cr.seconds;
+    sample.affinity_before = cr.affinity_before;
+    sample.gained_affinity = cr.affinity_after;
+    sample.optimality_gap =
+        cr.explain.populated ? cr.explain.certificate.Gap() : 0.0;
+    sample.migration_truncation = cr.migration_truncation;
+    sample.dirty_subproblems = cr.dirty_subproblems;
+    sample.reused_subproblems = cr.reused_subproblems;
+    sample.lp_pivots = CounterDelta(cr.metrics, "solver.lp_pivots");
+    sample.refactorizations =
+        CounterDelta(cr.metrics, "solver.refactorizations");
+    sample.latency_p50 = traffic.p50;
+    sample.latency_p95 = traffic.p95;
+    sample.latency_p99 = traffic.p99;
+    sample.error_rate = traffic.error_rate;
+    sample.executed = cr.executed;
+    sample.rolled_back = cr.rolled_back;
+    sample.solver_failed = cr.solver_failed;
+    cr.telemetry = telemetry_->RecordCycle(sample);
+    if (telemetry_journal_.is_open()) {
+      telemetry_journal_.Append(
+          TelemetryPipeline::JournalLine(sample, cr.telemetry));
+    }
   }
   report_.cycles.push_back(std::move(cr));
 
@@ -708,6 +757,26 @@ StatusOr<WorkflowReport> WorkflowRunner::Run() {
     solver_pool_ = std::make_unique<ThreadPool>(solver_threads);
   }
 
+  TelemetryOptions telemetry_options = options_.telemetry;
+  if (!options_.telemetry_dir.empty()) telemetry_options.enabled = true;
+  if (telemetry_options.enabled) {
+    telemetry_ = std::make_unique<TelemetryPipeline>(telemetry_options);
+    if (!options_.telemetry_dir.empty()) {
+      RASA_RETURN_IF_ERROR(EnsureDirectory(options_.telemetry_dir));
+      const std::string journal_path =
+          options_.telemetry_dir + "/telemetry.jsonl";
+      // Fresh runs own the journal; resumed runs append where they left off.
+      if (!options_.resume) std::remove(journal_path.c_str());
+      if (!telemetry_journal_.Open(journal_path)) {
+        return InternalError(StrFormat("cannot open telemetry journal '%s'",
+                                       journal_path.c_str()));
+      }
+    }
+  }
+  if (MetricsEnabled()) {
+    prev_scrape_ = MetricRegistry::Default().Scrape();
+  }
+
   if (!options_.state_dir.empty()) {
     checkpoint_cluster_ = std::make_shared<Cluster>(
         cluster_.resource_names(), cluster_.services(), cluster_.machines(),
@@ -803,6 +872,56 @@ Status ValidateWorkflowOptions(const WorkflowOptions& options) {
     return InvalidArgumentError("resume requires a state_dir");
   }
   return Status::OK();
+}
+
+TrafficQuantiles EstimateTrafficQuantiles(const Cluster& cluster,
+                                          const Placement& placement) {
+  // Steady-state constants of the production model: no jitter, congestion,
+  // or time steps — the result is a pure function of the placement.
+  const ProductionSimOptions model;
+  const std::vector<AffinityEdge>& edges = cluster.affinity().edges();
+  TrafficQuantiles out;
+  if (edges.empty()) return out;
+  const std::vector<double> rho = EdgeLocalizationRatios(cluster, placement);
+
+  struct TrafficPoint {
+    double latency;
+    double weight;
+  };
+  std::vector<TrafficPoint> points;
+  points.reserve(edges.size());
+  double total_weight = 0.0;
+  double weighted_error = 0.0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const double w = edges[i].weight;
+    if (w <= 0.0) continue;
+    const double r = rho[i];
+    points.push_back(
+        {r * model.ipc_latency + (1.0 - r) * model.rpc_latency, w});
+    weighted_error += w * (r * model.ipc_error + (1.0 - r) * model.rpc_error);
+    total_weight += w;
+  }
+  if (total_weight <= 0.0) return out;
+  out.error_rate = weighted_error / total_weight;
+  std::sort(points.begin(), points.end(),
+            [](const TrafficPoint& a, const TrafficPoint& b) {
+              return a.latency < b.latency;
+            });
+  // Weighted quantile: the smallest latency whose cumulative traffic share
+  // reaches q.
+  const auto quantile = [&](double q) {
+    const double target = q * total_weight;
+    double cumulative = 0.0;
+    for (const TrafficPoint& p : points) {
+      cumulative += p.weight;
+      if (cumulative >= target) return p.latency;
+    }
+    return points.back().latency;
+  };
+  out.p50 = quantile(0.50);
+  out.p95 = quantile(0.95);
+  out.p99 = quantile(0.99);
+  return out;
 }
 
 StatusOr<WorkflowReport> RunWorkflow(const Cluster& cluster,

@@ -10,6 +10,7 @@
 #include "common/metrics.h"
 #include "common/retry.h"
 #include "common/statusor.h"
+#include "common/telemetry.h"
 #include "core/rasa.h"
 #include "core/recovery.h"
 #include "sim/fault_injection.h"
@@ -82,6 +83,17 @@ struct WorkflowOptions {
   /// incremental mode with exact measurement or raise
   /// `rasa.delta.weight_tolerance` to cover the noise band.
   bool incremental = false;
+  /// Continuous-telemetry pipeline (see common/telemetry.h): per-cycle
+  /// time series, SLO burn-rate evaluation, and anomaly detection, with the
+  /// verdicts attached to each CycleReport. Strictly observation-only:
+  /// placements are bit-identical with telemetry on or off at every thread
+  /// count (telemetry_determinism_test).
+  TelemetryOptions telemetry;
+  /// When non-empty, enables telemetry and streams one JSONL journal line
+  /// per cycle to `<telemetry_dir>/telemetry.jsonl` (fsync per line via the
+  /// logging JsonlWriter, so `rasa_cli tail` can follow a live run). A
+  /// fresh (non-resume) run truncates the journal; a resumed run appends.
+  std::string telemetry_dir;
   uint64_t seed = 99;
 };
 
@@ -132,10 +144,16 @@ struct CycleReport {
   /// certificate, attribution waterfall, placement diff — see explain.h).
   /// Unpopulated when the optimizer failed.
   ExplainReport explain;
-  /// Scrape of the default metric registry taken at the end of the cycle
-  /// (cumulative since process start — diff consecutive cycles for
-  /// per-cycle deltas). Empty when metrics are disabled.
+  /// What the registry recorded during *this* cycle: the end-of-cycle
+  /// scrape diffed against the previous cycle's (MetricsSnapshot::Diff), so
+  /// counters and histogram counts are per-cycle deltas and gauges are the
+  /// cycle-end values. Empty when metrics are disabled.
   MetricsSnapshot metrics;
+  /// Per-cycle telemetry verdicts (SLO statuses + anomaly flags); populated
+  /// only when WorkflowOptions::telemetry is enabled. The cost-anomaly
+  /// fields derive from wall-clock cycle seconds — determinism comparisons
+  /// strip them like any other timing field.
+  CycleTelemetry telemetry;
 };
 
 struct WorkflowReport {
@@ -169,6 +187,23 @@ struct WorkflowReport {
   /// What crash recovery found and did (zero-initialized unless resumed).
   RecoveryStats recovery;
 };
+
+/// Deterministic request-traffic quantiles of a placement under the
+/// production model's steady state (no jitter/congestion RNG): each
+/// affinity edge carries `weight` traffic at latency
+/// `rho * ipc_latency + (1 - rho) * rpc_latency` where rho is the edge's
+/// localization ratio, and analogously for error rates. The quantiles are
+/// weighted by traffic share. A pure function of (cluster, placement), so
+/// feeding it into telemetry keeps the pipeline deterministic.
+struct TrafficQuantiles {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  /// Traffic-weighted mean modeled error rate.
+  double error_rate = 0.0;
+};
+TrafficQuantiles EstimateTrafficQuantiles(const Cluster& cluster,
+                                          const Placement& placement);
 
 /// Simulates the full periodic system of §III-A: each cycle collects the
 /// cluster state, runs the RASA algorithm, dry-runs when the improvement is

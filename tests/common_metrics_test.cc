@@ -299,5 +299,75 @@ TEST(TracerTest, JsonExportSkipsOpenSpans) {
   tracer.Reset();
 }
 
+// --- MetricsSnapshot::Diff -------------------------------------------------
+
+TEST(SnapshotDiffTest, CountersSubtractAndHandleResets) {
+  MetricsSnapshot prev;
+  prev.counters = {{"a", 10}, {"gone", 5}, {"reset", 100}};
+  MetricsSnapshot cur;
+  cur.counters = {{"a", 17}, {"fresh", 3}, {"reset", 2}};
+  const MetricsSnapshot delta = cur.Diff(prev);
+  ASSERT_EQ(delta.counters.size(), 3u);
+  EXPECT_EQ(delta.counters[0], (std::pair<std::string, uint64_t>("a", 7)));
+  // Absent from prev: the whole current value is the delta.
+  EXPECT_EQ(delta.counters[1],
+            (std::pair<std::string, uint64_t>("fresh", 3)));
+  // Shrank (registry Reset between scrapes): report the current value
+  // rather than an underflowed subtraction.
+  EXPECT_EQ(delta.counters[2],
+            (std::pair<std::string, uint64_t>("reset", 2)));
+  // Absent from cur ("gone") is dropped, not resurrected.
+}
+
+TEST(SnapshotDiffTest, GaugesKeepTheCurrentValue) {
+  MetricsSnapshot prev;
+  prev.gauges = {{"g", 10.0}};
+  MetricsSnapshot cur;
+  cur.gauges = {{"g", 2.5}};
+  const MetricsSnapshot delta = cur.Diff(prev);
+  ASSERT_EQ(delta.gauges.size(), 1u);
+  // An instantaneous last-write-wins reading has no meaningful delta: the
+  // per-window value IS the current value.
+  EXPECT_EQ(delta.gauges[0].second, 2.5);
+}
+
+TEST(SnapshotDiffTest, HistogramsSubtractBucketwise) {
+  Histogram histogram;
+  histogram.Observe(1.0);
+  histogram.Observe(1.0);
+  MetricsSnapshot prev;
+  prev.histograms = {{"h", histogram.Scrape()}};
+  histogram.Observe(5.0);
+  MetricsSnapshot cur;
+  cur.histograms = {{"h", histogram.Scrape()}};
+
+  const MetricsSnapshot delta = cur.Diff(prev);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const Histogram::Snapshot& d = delta.histograms[0].second;
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_NEAR(d.sum, 5.0, 1e-12);
+  uint64_t bucket_total = 0;
+  for (uint64_t n : d.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, 1u);
+  // min/max are estimated from the delta buckets' edges: the only delta
+  // observation is 5.0, so both must bracket it — and the min estimate
+  // must be tighter than the cumulative min of 1.0.
+  EXPECT_LE(d.min, 5.0);
+  EXPECT_GE(d.max, 5.0);
+  EXPECT_GT(d.min, 1.0);
+}
+
+TEST(SnapshotDiffTest, EmptyWindowYieldsZeroCounts) {
+  Histogram histogram;
+  histogram.Observe(2.0);
+  MetricsSnapshot prev;
+  prev.counters = {{"c", 4}};
+  prev.histograms = {{"h", histogram.Scrape()}};
+  const MetricsSnapshot delta = prev.Diff(prev);
+  EXPECT_EQ(delta.counters[0].second, 0u);
+  EXPECT_EQ(delta.histograms[0].second.count, 0u);
+  EXPECT_EQ(delta.histograms[0].second.sum, 0.0);
+}
+
 }  // namespace
 }  // namespace rasa

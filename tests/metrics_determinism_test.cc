@@ -136,18 +136,17 @@ TEST(MetricsDeterminismTest, WorkflowCoversAllFiveSubsystems) {
   EXPECT_GT(counter("threadpool.tasks_executed"), 0u);
   EXPECT_GT(counter("migration.runs"), 0u);
 
-  // Per-cycle snapshots are cumulative scrapes: present on every cycle and
-  // monotone in the event counters.
+  // Per-cycle snapshots are registry *deltas* (MetricsSnapshot::Diff):
+  // every cycle ran the optimizer exactly once, so each cycle's delta of
+  // rasa.runs is exactly 1 — not the cumulative 1, 2, ...
   ASSERT_EQ(report->cycles.size(), 2u);
-  uint64_t previous_runs = 0;
   for (const CycleReport& cr : report->cycles) {
     EXPECT_FALSE(cr.metrics.counters.empty());
     uint64_t runs = 0;
     for (const auto& [n, v] : cr.metrics.counters) {
       if (n == "rasa.runs") runs = v;
     }
-    EXPECT_GT(runs, previous_runs);
-    previous_runs = runs;
+    EXPECT_EQ(runs, 1u);
   }
 
   // The machine-readable export mentions all five subsystem prefixes.
